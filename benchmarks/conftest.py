@@ -1,0 +1,52 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures through the
+shared :class:`~repro.experiments.runner.ExperimentRunner`, which caches the
+underlying measurements so that e.g. Figures 5.1, 5.2, 5.3 and 5.5 (which all
+draw on the same eleven query runs) cost one pass over the workload rather
+than four.
+
+The runner is session-scoped; individual benchmarks wrap their figure
+function in ``benchmark.pedantic(..., rounds=1, iterations=1)`` because a
+single figure regeneration is itself an expensive, deterministic simulation --
+re-running it dozens of times (pytest-benchmark's default calibration) would
+add nothing but wall-clock time.
+
+Environment knobs:
+
+``REPRO_BENCH_SCALE``
+    Multiplies the workload scales (default 1.0).  ``REPRO_BENCH_SCALE=0.25``
+    gives a quick smoke run; values above 1 approach the paper's full sizes
+    at a proportional cost in simulation time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentConfig, ExperimentRunner
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "figure(name): marks a benchmark as regenerating one paper figure/table")
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    """The shared, result-caching experiment runner at benchmark scale."""
+    return ExperimentRunner(ExperimentConfig())
+
+
+@pytest.fixture
+def regenerate(benchmark):
+    """Run a figure function exactly once under pytest-benchmark timing."""
+
+    def _regenerate(function, *args, **kwargs):
+        result = benchmark.pedantic(function, args=args, kwargs=kwargs,
+                                    rounds=1, iterations=1)
+        print()
+        print(result.text)
+        return result
+
+    return _regenerate

@@ -1,0 +1,41 @@
+"""Figure 5.4: branch misprediction rates; TB and TL1I versus selectivity."""
+
+import pytest
+
+from repro.experiments.figures import figure_5_4_left, figure_5_4_right
+
+
+@pytest.mark.figure("figure_5_4_left")
+def test_figure_5_4_left(regenerate, runner):
+    figure = regenerate(figure_5_4_left, runner)
+    data = figure.data
+    for system, per_query in data.items():
+        for kind, rate in per_query.items():
+            assert 0.005 <= rate <= 0.30, f"{system}/{kind}: {rate:.3f}"
+    # System A's leaner, more predictable paths mispredict the least.
+    srs = {system: values["SRS"] for system, values in data.items()}
+    assert srs["A"] == min(srs.values())
+    # The misprediction rate does not vary much across query types for a
+    # given system (the paper: "does not vary significantly with record size
+    # or selectivity").
+    for system, per_query in data.items():
+        rates = list(per_query.values())
+        assert max(rates) - min(rates) < 0.05
+
+
+@pytest.mark.figure("figure_5_4_right")
+def test_figure_5_4_right(regenerate, runner):
+    figure = regenerate(figure_5_4_right, runner, "D")
+    data = figure.data
+    assert set(data) == {"0%", "1%", "5%", "10%", "50%", "100%"}
+    tb = {label: values["Branch mispred. stalls"] for label, values in data.items()}
+    l1i = {label: values["L1 I-cache stalls"] for label, values in data.items()}
+    # Both stall classes grow as the selectivity grows from 0% to 50%
+    # (the paper's point is that they move together).
+    assert tb["50%"] > tb["0%"]
+    assert tb["10%"] >= tb["0%"]
+    assert l1i["100%"] >= l1i["0%"]
+    # ... and they stay within the same band the paper plots (0-20%).
+    for label in data:
+        assert 0.0 < tb[label] < 0.25
+        assert 0.0 < l1i[label] < 0.45

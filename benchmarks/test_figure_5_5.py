@@ -1,0 +1,28 @@
+"""Figure 5.5: dependency (TDEP) versus functional-unit (TFU) stalls."""
+
+import pytest
+
+from repro.experiments.figures import figure_5_5
+
+
+@pytest.mark.figure("figure_5_5")
+def test_figure_5_5(regenerate, runner):
+    figure = regenerate(figure_5_5, runner)
+    tdep = figure.data["TDEP"]
+    tfu = figure.data["TFU"]
+
+    # Dependency stalls are the most important resource stall for B, C and D
+    # on every query ...
+    for system in ("B", "C", "D"):
+        for kind, dep_share in tdep[system].items():
+            assert dep_share > tfu[system][kind], f"{system}/{kind}"
+            assert 0.0 < dep_share < 0.25
+    # ... while System A's range selections are the exception: functional-unit
+    # contention dominates.
+    assert tfu["A"]["SRS"] > tdep["A"]["SRS"]
+
+    # Both components stay within the 0-25% band of the paper's figure.
+    for component in (tdep, tfu):
+        for system, per_query in component.items():
+            for kind, share in per_query.items():
+                assert 0.0 < share < 0.30, f"{system}/{kind}"

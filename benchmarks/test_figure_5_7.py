@@ -1,0 +1,25 @@
+"""Figure 5.7: cache-related stall breakdown, simple query versus TPC-D."""
+
+import pytest
+
+from repro.experiments.figures import figure_5_7
+
+
+@pytest.mark.figure("figure_5_7")
+def test_figure_5_7(regenerate, runner):
+    figure = regenerate(figure_5_7, runner)
+    for workload in ("SRS", "TPC-D"):
+        for system, shares in figure.data[workload].items():
+            assert sum(shares.values()) == pytest.approx(1.0)
+            # L1 instruction stalls and L2 data stalls dominate the
+            # cache-related stall time for both workloads.
+            assert shares["L1 I-stalls"] + shares["L2 D-stalls"] >= 0.70, (
+                f"{workload}/{system}")
+            assert shares["L2 I-stalls"] <= 0.12
+            assert shares["L1 D-stalls"] <= 0.25
+    # First-level instruction stalls dominate the TPC-D workload for the two
+    # systems whose DSS executors are instruction-heavy (B and D), which is
+    # the paper's argument for instruction-cache optimisations in DSS.
+    for system in ("B", "D"):
+        tpcd = figure.data["TPC-D"][system]
+        assert tpcd["L1 I-stalls"] == max(tpcd.values())

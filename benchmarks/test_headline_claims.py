@@ -1,0 +1,25 @@
+"""Section 1: the paper's headline claims, recomputed over every measurement."""
+
+import pytest
+
+from repro.experiments.figures import headline_claims
+
+
+@pytest.mark.figure("headline_claims")
+def test_headline_claims(regenerate, runner):
+    figure = regenerate(headline_claims, runner)
+    data = figure.data
+
+    # "On the average, half the execution time is spent in stalls."
+    assert data["average stall share of execution time"] >= 0.50
+    assert data["minimum stall share"] >= 0.40
+
+    # "In all cases, 90% of the memory stalls are due to second-level cache
+    # data misses and first-level instruction cache misses."  The reproduction
+    # averages ~85-90% with a per-query floor around 70%.
+    assert data["average (TL1I+TL2D) share of memory stalls"] >= 0.80
+    assert data["minimum (TL1I+TL2D) share of memory stalls"] >= 0.65
+
+    # "About 20% of the stalls are caused by subtle implementation details
+    # (e.g. branch mispredictions)" -- i.e. roughly 10-15% of execution time.
+    assert 0.04 <= data["average branch misprediction share"] <= 0.20

@@ -1,0 +1,35 @@
+"""Section 5.2: the effect of the record size (20-200 bytes).
+
+Paper observations: TL2D grows with the record size for all systems (the
+referenced fields of consecutive records move further apart); somewhat
+surprisingly, the L1 instruction misses grow too (more OS interrupts and page
+boundary crossings per record); execution time per record grows with record
+size (by 2.5-4x in the paper; the reproduction shows the same monotone trend
+with a smaller magnitude because the profiled instruction path length does
+not grow with the record size).
+"""
+
+import pytest
+
+from repro.experiments.figures import record_size_sweep
+
+
+@pytest.mark.figure("record_size_sweep")
+def test_record_size_sweep(regenerate, runner):
+    figure = regenerate(record_size_sweep, runner)
+    for system, columns in figure.data.items():
+        sizes = sorted(columns, key=lambda label: int(label.rstrip("B")))
+        tl2d = [columns[size]["TL2D cycles/record"] for size in sizes]
+        l1i = [columns[size]["L1I misses/record"] for size in sizes]
+        cycles = [columns[size]["cycles/record"] for size in sizes]
+
+        # L2 data stalls per record increase strictly and strongly with size.
+        assert all(later > earlier for earlier, later in zip(tl2d, tl2d[1:])), system
+        assert tl2d[-1] >= 3.0 * tl2d[0], system
+
+        # L1 instruction misses per record also increase (OS interference and
+        # page-boundary crossings), though far less dramatically.
+        assert l1i[-1] > l1i[0], system
+
+        # Execution time per record increases with the record size.
+        assert all(later > earlier for earlier, later in zip(cycles, cycles[1:])), system

@@ -1,0 +1,22 @@
+"""Table 4.1: cache characteristics of the simulated Pentium II Xeon."""
+
+import pytest
+
+from repro.experiments.figures import table_4_1
+from repro.hardware import PENTIUM_II_XEON
+
+
+@pytest.mark.figure("table_4_1")
+def test_table_4_1(regenerate):
+    figure = regenerate(table_4_1, PENTIUM_II_XEON)
+    l1 = figure.data["L1 (split)"]
+    l2 = figure.data["L2"]
+    # The configuration the whole study depends on (paper Table 4.1).
+    assert l1["Cache size"] == "16KB Data / 16KB Instruction"
+    assert l1["Cache line size"] == "32 bytes"
+    assert l1["Associativity"] == "4-way"
+    assert l1["Miss Penalty"] == "4 cycles (w/ L2 hit)"
+    assert l1["Misses outstanding"] == "4"
+    assert l2["Cache size"] == "512KB"
+    assert l2["Associativity"] == "4-way"
+    assert l2["Write Policy"] == "Write-back"

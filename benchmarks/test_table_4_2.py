@@ -1,0 +1,22 @@
+"""Table 4.2: the measurement method of every stall-time component."""
+
+import pytest
+
+from repro.experiments.figures import table_4_2
+
+
+@pytest.mark.figure("table_4_2")
+def test_table_4_2(regenerate):
+    figure = regenerate(table_4_2)
+    methods = figure.data
+    assert methods["TC"]["method"].lower().startswith("estimated minimum")
+    assert "4 cycles" in methods["TL1D"]["method"]
+    assert methods["TL1I"]["method"] == "actual stall time"
+    assert "memory latency" in methods["TL2D"]["method"]
+    assert "memory latency" in methods["TL2I"]["method"]
+    assert methods["TDTLB"]["method"] == "Not measured"
+    assert "32 cycles" in methods["TITLB"]["method"]
+    assert "17 cycles" in methods["TB"]["method"]
+    assert methods["TFU"]["method"] == "actual stall time"
+    assert methods["TDEP"]["method"] == "actual stall time"
+    assert methods["TOVL"]["method"] == "Not measured"

@@ -1,0 +1,26 @@
+"""Section 5.5: the TPC-C (OLTP) observations.
+
+Paper text reproduced: "CPI rates for TPC-C workloads range from 2.5 to 4.5,
+and 60%-80% of the time is spent in memory-related stalls ... The TPC-C
+memory stalls breakdown shows dominance of the L2 data and instruction
+stalls."
+"""
+
+import pytest
+
+from repro.experiments.figures import tpcc_summary
+
+
+@pytest.mark.figure("tpcc_section_5_5")
+def test_tpcc_observations(regenerate, runner):
+    figure = regenerate(tpcc_summary, runner)
+    for system, values in figure.data.items():
+        assert 2.0 <= values["CPI"] <= 5.0, f"{system}: CPI={values['CPI']:.2f}"
+        assert 0.55 <= values["memory stall share"] <= 0.90, system
+        # L2 (data + instruction) misses dominate the memory stalls.
+        assert values["L2 share of memory stalls"] >= 0.50, system
+
+    # The OLTP mix is much heavier per instruction than the DSS microbenchmark.
+    for system in figure.data:
+        srs = runner.micro_result(system, "SRS")
+        assert figure.data[system]["CPI"] > srs.metrics.cpi * 1.5, system

@@ -1,0 +1,61 @@
+"""Drive the emon-style measurement methodology end to end.
+
+The paper measured 74 event types two at a time with Intel's ``emon`` tool,
+using units of ten queries and repeated runs with a <5% standard deviation
+target.  This example reproduces that workflow against the simulated
+processor: it multiplexes the breakdown's event list pairwise over repeated
+units, checks the confidence of every measurement, and then feeds the
+collected means into the Table 4.2 formulae to print an execution-time
+breakdown -- exactly the path the paper's numbers travelled.
+
+Run with::
+
+    python examples/emon_methodology.py
+"""
+
+from repro import MicroWorkload, MicroWorkloadConfig, Session, SYSTEM_C
+from repro.analysis import ExecutionBreakdown
+from repro.analysis.report import format_key_values
+from repro.emon import Emon, default_event_list
+from repro.hardware import EventCounters
+
+
+def main() -> None:
+    workload = MicroWorkload(MicroWorkloadConfig(scale=1 / 1200))
+    database = workload.build(include_s=False)
+    query = workload.sequential_range_selection(0.10)
+
+    def unit() -> EventCounters:
+        """One measurement unit: a fresh session runs the query batch."""
+        session = Session(database, SYSTEM_C)
+        return session.execute(query, warmup_runs=1, queries_per_unit=3).counters
+
+    emon = Emon(unit, repetitions=3, max_relative_std_dev=0.05)
+    events = default_event_list()
+    print(f"Measuring {len(events)} event types, two counters at a time, "
+          f"{emon.repetitions} repetitions each ...")
+    measurements = emon.collect(events)
+
+    noisy = emon.check_confidence(measurements)
+    print(f"Events above the 5% relative standard deviation target: {noisy or 'none'}\n")
+
+    means = {name.split(":")[0]: measurement.mean
+             for name, measurement in measurements.items()}
+    counters = EventCounters.from_dict({event: int(round(value))
+                                        for event, value in means.items()})
+    breakdown = ExecutionBreakdown.from_counters(counters, label="emon-derived")
+
+    print(format_key_values("Execution time breakdown from emon-style measurement", {
+        "total cycles": breakdown.total_cycles,
+        "TC (computation)": breakdown.components["TC"],
+        "TM (memory stalls)": breakdown.memory,
+        "  TL1I": breakdown.components["TL1I"],
+        "  TL2D": breakdown.components["TL2D"],
+        "TB (branch mispredictions)": breakdown.branch,
+        "TR (resource stalls)": breakdown.resource,
+        "stall share of execution time": breakdown.stall / breakdown.estimated_total,
+    }))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Quickstart: where does the time go for one query on one system?
+
+Builds a scaled-down version of the paper's relation R, runs the 10%
+sequential range selection on System B's profile, and prints the execution
+time breakdown (Figure 5.1 style), the memory-stall breakdown (Figure 5.2
+style) and the headline rate metrics.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import MicroWorkload, MicroWorkloadConfig, Session, SYSTEM_B
+from repro.analysis.report import format_key_values, format_table
+
+
+def main() -> None:
+    # 1/400 of the paper's 1.2M-row relation keeps this script snappy while
+    # still overflowing the 16 KB L1 caches.
+    workload = MicroWorkload(MicroWorkloadConfig(scale=1 / 400))
+    database = workload.build()
+    workload.create_selection_index(database)
+    print(f"Loaded R with {database.row_count('R'):,} rows "
+          f"({database.table('R').heap.data_bytes() / 1024:.0f} KB), "
+          f"S with {database.row_count('S'):,} rows\n")
+
+    session = Session(database, SYSTEM_B)
+    query = workload.sequential_range_selection(selectivity=0.10)
+    print("Plan:")
+    print(session.explain(query), "\n")
+
+    result = session.execute(query, warmup_runs=1)
+    print(f"avg(a3) = {result.scalar:.2f} "
+          f"(expected {workload.expected_average(0.10):.2f})\n")
+
+    shares = result.breakdown.shares()
+    print(format_table(
+        "Execution time breakdown (System B, 10% sequential selection)",
+        ["Computation", "Memory stalls", "Branch mispredictions", "Resource stalls"],
+        ["share"],
+        {"share": {"Computation": shares["computation"],
+                   "Memory stalls": shares["memory"],
+                   "Branch mispredictions": shares["branch"],
+                   "Resource stalls": shares["resource"]}}))
+    print()
+
+    memory = result.breakdown.memory_shares()
+    print(format_table(
+        "Memory stall breakdown",
+        ["TL1D", "TL1I", "TL2D", "TL2I", "TITLB"], ["share"],
+        {"share": memory}))
+    print()
+
+    metrics = result.metrics
+    print(format_key_values("Rate metrics", {
+        "CPI": metrics.cpi,
+        "instructions / record": metrics.instructions_per_record,
+        "L1D miss rate": metrics.l1d_miss_rate,
+        "L2 data miss rate": metrics.l2_data_miss_rate,
+        "branch misprediction rate": metrics.branch_misprediction_rate,
+        "BTB miss rate": metrics.btb_miss_rate,
+        "memory bandwidth utilisation": metrics.memory_bandwidth_utilisation,
+    }))
+
+
+if __name__ == "__main__":
+    main()

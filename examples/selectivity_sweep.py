@@ -1,0 +1,46 @@
+"""Sweep the selectivity of the sequential range selection (Figure 5.4 right).
+
+Runs System D's sequential range selection at the paper's selectivity points
+(0%, 1%, 5%, 10%, 50%, 100%) and prints how the branch-misprediction stall
+time and the L1 instruction-cache stall time move together as a fraction of
+execution time.
+
+Run with::
+
+    python examples/selectivity_sweep.py
+"""
+
+from repro import MicroWorkload, MicroWorkloadConfig, Session, system_by_key
+from repro.analysis.report import format_table
+from repro.workloads.sweeps import SELECTIVITY_POINTS
+
+
+def main() -> None:
+    workload = MicroWorkload(MicroWorkloadConfig(scale=1 / 400))
+    database = workload.build()
+    profile = system_by_key("D")
+
+    columns = {}
+    for selectivity in SELECTIVITY_POINTS:
+        session = Session(database, profile)
+        result = session.execute(workload.sequential_range_selection(selectivity),
+                                 warmup_runs=0)
+        shares = result.breakdown.component_shares()
+        columns[f"{selectivity:.0%}"] = {
+            "Branch mispred. stalls": shares["TB"],
+            "L1 I-cache stalls": shares["TL1I"],
+            "L2 D-cache stalls": shares["TL2D"],
+        }
+        print(f"selectivity {selectivity:>4.0%}: "
+              f"selected {result.counters.get('RECORDS_PROCESSED'):,} records scanned, "
+              f"CPI {result.metrics.cpi:.2f}")
+
+    print()
+    print(format_table(
+        "System D, sequential selection: stall shares vs selectivity",
+        ["Branch mispred. stalls", "L1 I-cache stalls", "L2 D-cache stalls"],
+        list(columns.keys()), columns))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""The execution-time breakdown framework and derived metrics."""
+
+from .breakdown import (BreakdownError, COMPONENTS, ExecutionBreakdown, GROUPS,
+                        MEMORY_COMPONENTS, MeasurementMethod, TABLE_4_2)
+from .metrics import QueryMetrics, compute_metrics, cpi_breakdown
+
+__all__ = [
+    "BreakdownError", "COMPONENTS", "ExecutionBreakdown", "GROUPS",
+    "MEMORY_COMPONENTS", "MeasurementMethod", "TABLE_4_2",
+    "QueryMetrics", "compute_metrics", "cpi_breakdown",
+]

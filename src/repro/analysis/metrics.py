@@ -1,0 +1,124 @@
+"""Derived performance metrics.
+
+Beyond the time breakdown itself, the paper reports a set of rate metrics that
+this module computes from a counter snapshot:
+
+* clocks per instruction (CPI) and its breakdown (Figure 5.6),
+* instructions retired per record (Figure 5.3),
+* L1 D-cache, L1 I-cache and L2 data/instruction miss rates (Section 5.2),
+* branch frequency, branch misprediction rate and BTB miss rate (Section 5.3),
+* memory-bandwidth utilisation (the latency-bound argument of Section 5.2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..hardware.counters import EventCounters, MODE_USER
+from ..hardware.specs import PENTIUM_II_XEON, ProcessorSpec
+from .breakdown import ExecutionBreakdown
+
+
+@dataclass(frozen=True)
+class QueryMetrics:
+    """Rate metrics for one measured query execution."""
+
+    cycles: float
+    instructions: int
+    uops: int
+    records: int
+    cpi: float
+    instructions_per_record: float
+    l1d_miss_rate: float
+    l1i_miss_rate: float
+    l2_data_miss_rate: float
+    l2_instruction_miss_rate: float
+    l2_data_misses_per_record: float
+    branch_fraction: float
+    branch_misprediction_rate: float
+    btb_miss_rate: float
+    memory_bandwidth_utilisation: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "cycles": self.cycles,
+            "instructions": float(self.instructions),
+            "uops": float(self.uops),
+            "records": float(self.records),
+            "cpi": self.cpi,
+            "instructions_per_record": self.instructions_per_record,
+            "l1d_miss_rate": self.l1d_miss_rate,
+            "l1i_miss_rate": self.l1i_miss_rate,
+            "l2_data_miss_rate": self.l2_data_miss_rate,
+            "l2_instruction_miss_rate": self.l2_instruction_miss_rate,
+            "l2_data_misses_per_record": self.l2_data_misses_per_record,
+            "branch_fraction": self.branch_fraction,
+            "branch_misprediction_rate": self.branch_misprediction_rate,
+            "btb_miss_rate": self.btb_miss_rate,
+            "memory_bandwidth_utilisation": self.memory_bandwidth_utilisation,
+        }
+
+
+def _ratio(numerator: float, denominator: float) -> float:
+    return numerator / denominator if denominator else 0.0
+
+
+def compute_metrics(counters: EventCounters,
+                    spec: ProcessorSpec = PENTIUM_II_XEON,
+                    mode: str = MODE_USER,
+                    records: Optional[int] = None) -> QueryMetrics:
+    """Compute the rate metrics from one counter snapshot."""
+    get = lambda event: counters.get(event, mode)  # noqa: E731 - local shorthand
+    cycles = float(get("CPU_CLK_UNHALTED"))
+    instructions = get("INST_RETIRED")
+    uops = get("UOPS_RETIRED")
+    if records is None:
+        records = get("RECORDS_PROCESSED")
+
+    data_refs = get("DATA_MEM_REFS")
+    l1d_misses = get("DCU_LINES_IN")
+    ifetches = get("IFU_IFETCH")
+    l1i_misses = get("IFU_IFETCH_MISS")
+    l2_data_requests = get("L2_DATA_RQSTS")
+    l2_data_misses = get("L2_DATA_MISS")
+    l2_ifetches = get("L2_IFETCH")
+    l2_ifetch_misses = get("L2_IFETCH_MISS")
+    branches = get("BR_INST_RETIRED")
+    mispredictions = get("BR_MISS_PRED_RETIRED")
+    btb_misses = get("BTB_MISSES")
+
+    bus_bytes = float(get("BUS_TRAN_MEM")) * spec.l2.line_bytes
+    peak_bytes = spec.memory.peak_bandwidth_bytes_per_cycle * cycles if cycles else 0.0
+
+    return QueryMetrics(
+        cycles=cycles,
+        instructions=instructions,
+        uops=uops,
+        records=records,
+        cpi=_ratio(cycles, instructions),
+        instructions_per_record=_ratio(instructions, records),
+        l1d_miss_rate=_ratio(l1d_misses, data_refs),
+        l1i_miss_rate=_ratio(l1i_misses, ifetches),
+        l2_data_miss_rate=_ratio(l2_data_misses, l2_data_requests),
+        l2_instruction_miss_rate=_ratio(l2_ifetch_misses, l2_ifetches),
+        l2_data_misses_per_record=_ratio(l2_data_misses, records),
+        branch_fraction=_ratio(branches, instructions),
+        branch_misprediction_rate=_ratio(mispredictions, branches),
+        btb_miss_rate=_ratio(btb_misses, branches),
+        memory_bandwidth_utilisation=_ratio(bus_bytes, peak_bytes),
+    )
+
+
+def cpi_breakdown(breakdown: ExecutionBreakdown, instructions: int) -> Dict[str, float]:
+    """Clocks-per-instruction contribution of each top-level group (Figure 5.6)."""
+    if instructions <= 0:
+        raise ValueError("instructions must be positive for a CPI breakdown")
+    groups = breakdown.group_cycles()
+    total = sum(groups.values())
+    measured_cpi = breakdown.total_cycles / instructions
+    if total <= 0:
+        return {name: 0.0 for name in groups} | {"total": measured_cpi}
+    out = {name: measured_cpi * (value / total) for name, value in groups.items()}
+    out["total"] = measured_cpi
+    return out

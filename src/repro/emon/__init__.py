@@ -1,0 +1,6 @@
+"""Emon-style hardware-counter measurement methodology."""
+
+from .tool import Emon, EmonError, EventSpec, Measurement, UnitRunner, default_event_list
+
+__all__ = ["Emon", "EmonError", "EventSpec", "Measurement", "UnitRunner",
+           "default_event_list"]

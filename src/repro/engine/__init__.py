@@ -1,0 +1,6 @@
+"""Engine facade: database instances and measurement sessions."""
+
+from .database import Database
+from .session import QueryResult, Session
+
+__all__ = ["Database", "QueryResult", "Session"]

@@ -1,0 +1,77 @@
+"""Database facade.
+
+:class:`Database` wraps the storage catalog behind the small DDL/DML surface
+the workloads and examples need: create a table (optionally with explicit
+record padding, as the paper's ``<rest of fields>`` requires), bulk-load rows,
+build a non-clustered index, and inspect sizes.  The same database instance is
+shared by every system profile measured against it -- the paper used "the
+exact same commands and datasets ... for all the DBMSs".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+from ..index.btree import BTreeIndex
+from ..storage.address_space import AddressSpace
+from ..storage.catalog import Catalog, Table
+from ..storage.page import DEFAULT_PAGE_SIZE
+from ..storage.schema import Column, ColumnType, Schema
+
+
+class Database:
+    """A memory-resident database instance."""
+
+    def __init__(self, page_size: int = DEFAULT_PAGE_SIZE,
+                 address_space: Optional[AddressSpace] = None) -> None:
+        self.catalog = Catalog(page_size=page_size, address_space=address_space)
+
+    # ------------------------------------------------------------------ DDL
+    def create_table(self, name: str, columns: Sequence[Tuple[str, ColumnType]],
+                     record_size: Optional[int] = None) -> Table:
+        """Create a table from ``(name, type)`` pairs with optional padding."""
+        schema = Schema(columns=tuple(Column(cname, ctype) for cname, ctype in columns),
+                        name=name)
+        return self.catalog.create_table(name, schema, record_size=record_size)
+
+    def create_index(self, table: str, column: str, unique: bool = False) -> BTreeIndex:
+        return self.catalog.create_index(table, column, unique=unique)
+
+    def drop_index(self, table: str, column: str) -> None:
+        self.catalog.drop_index(table, column)
+
+    # ------------------------------------------------------------------ DML
+    def load(self, table: str, rows: Iterable[Sequence]) -> int:
+        """Bulk-load rows into an existing table; returns the row count."""
+        return self.catalog.table(table).insert_many(rows)
+
+    # -------------------------------------------------------------- queries
+    def table(self, name: str) -> Table:
+        return self.catalog.table(name)
+
+    def row_count(self, name: str) -> int:
+        return self.catalog.table(name).row_count
+
+    def resident_bytes(self) -> int:
+        """Total relation bytes in the buffer pool (must fit in memory)."""
+        return self.catalog.total_data_bytes()
+
+    @property
+    def address_space(self) -> AddressSpace:
+        return self.catalog.address_space
+
+    def summary(self) -> Dict[str, Dict[str, int]]:
+        """Per-table row/page/byte counts, for reports and examples."""
+        out: Dict[str, Dict[str, int]] = {}
+        for table in self.catalog.tables():
+            out[table.name] = {
+                "rows": table.row_count,
+                "pages": table.heap.page_count,
+                "bytes": table.heap.data_bytes(),
+                "record_size": table.layout.record_size,
+                "indexes": len(table.indexes),
+            }
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Database(tables={list(self.catalog.table_names())})"

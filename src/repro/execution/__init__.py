@@ -1,0 +1,20 @@
+"""Execution engine: code layout, execution context, operators, executor."""
+
+from .code_layout import BranchSite, CodeLayout, CodeSegment, LINE_BYTES
+from .context import ExecutionContext
+from .executor import (ExecutorError, build_plan, build_scan, build_join,
+                       execute_plan, execute_update)
+from .operators import (HashJoinOperator, IndexNestedLoopJoinOperator,
+                        IndexPointLookupOperator, IndexRangeScanOperator,
+                        NestedLoopJoinOperator, Operator, OperatorError, Row,
+                        ScalarAggregateOperator, SeqScanOperator, row_value)
+
+__all__ = [
+    "BranchSite", "CodeLayout", "CodeSegment", "LINE_BYTES",
+    "ExecutionContext",
+    "ExecutorError", "build_plan", "build_scan", "build_join", "execute_plan",
+    "execute_update",
+    "HashJoinOperator", "IndexNestedLoopJoinOperator", "IndexPointLookupOperator",
+    "IndexRangeScanOperator", "NestedLoopJoinOperator", "Operator", "OperatorError",
+    "Row", "ScalarAggregateOperator", "SeqScanOperator", "row_value",
+]

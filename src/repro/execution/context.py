@@ -1,0 +1,218 @@
+"""Execution context: the bridge between operators and the simulated hardware.
+
+Every physical operator runs against an :class:`ExecutionContext`, which owns
+
+* the :class:`~repro.hardware.processor.SimulatedProcessor` being driven,
+* the system profile and its :class:`~repro.execution.code_layout.CodeLayout`,
+* the system's private *workspace* (hash areas, aggregation state, scratch
+  structures) in the simulated address space, and
+* the bookkeeping for cold-code rotation, bulk-branch extrapolation and
+  deterministic pseudo-random branch outcomes.
+
+Operators interact with it through a handful of calls:
+
+``visit(operation, data_taken=...)``
+    Charge one invocation of an executor routine: fetch its hot and cold
+    instruction lines, retire its instructions, account its bulk memory
+    references, touch the private working set, execute its branch sites and
+    charge its resource-stall cycles.
+
+``read_fields(entry, layout, columns)`` / ``read_record(entry, layout)``
+    Issue the data-side accesses for a record according to the profile's
+    record-access style, and decode the requested column values.
+
+``read_address(addr, size)`` / ``write_address(addr, size)``
+    Raw data accesses for index nodes, hash buckets and similar structures.
+
+``record_done()``
+    Mark a record boundary (per-record metrics, OS-interrupt pacing).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+from ..hardware.processor import SimulatedProcessor
+from ..storage.address_space import AddressSpace
+from ..storage.heapfile import ScanEntry
+from ..storage.schema import RecordLayout
+from ..systems.profile import (ACCESS_FIELDS_ONLY, BRANCH_KIND_ALTERNATING,
+                               BRANCH_KIND_COLD, BRANCH_KIND_DATA, BRANCH_KIND_LOOP,
+                               BRANCH_KIND_RARE, SystemProfile)
+from .code_layout import CodeLayout, CodeSegment, LINE_BYTES
+
+#: Knuth multiplicative-hash constant used for deterministic pseudo-random
+#: branch outcomes (the simulation must be reproducible run to run).
+_HASH_CONSTANT = 2654435761
+
+
+class ExecutionContext:
+    """Per-(system, processor) execution state shared by all operators."""
+
+    def __init__(self,
+                 processor: SimulatedProcessor,
+                 profile: SystemProfile,
+                 address_space: AddressSpace,
+                 code_layout: Optional[CodeLayout] = None) -> None:
+        self.processor = processor
+        self.profile = profile
+        self.address_space = address_space
+        self.layout = code_layout or CodeLayout(profile, address_space)
+
+        # Private working set (cycled through on every routine invocation).
+        self.workspace_base = address_space.allocate("workspace", profile.workspace_bytes,
+                                                      alignment=64)
+        self._workspace_cursor = 0
+        self._workspace_size = profile.workspace_bytes
+        self._workspace_stride = profile.workspace_touch_stride
+
+        # Cold-code rotation state.
+        self._cold_cursor = 0
+
+        # Bulk-branch misprediction extrapolation keeps a fractional
+        # remainder so small per-visit quantities do not round away.
+        self._bulk_mispred_carry = 0.0
+
+        # Deterministic per-visit counter for pseudo-random branch outcomes
+        # and per-site state for alternating / rare branches.
+        self._visit_counter = 0
+        self._site_state: Dict[int, int] = {}
+
+        self.rows_produced = 0
+
+    # ------------------------------------------------------------------ core
+    def visit(self, operation: str, data_taken: Optional[bool] = None,
+              repeat: int = 1) -> None:
+        """Charge ``repeat`` invocations of ``operation`` to the processor."""
+        segment = self.layout.segment(operation)
+        for _ in range(repeat):
+            self._visit_segment(segment, data_taken)
+
+    def _visit_segment(self, segment: CodeSegment, data_taken: Optional[bool]) -> None:
+        processor = self.processor
+        self._visit_counter += 1
+
+        # Instruction side: hot lines every visit, plus the cold-code slice.
+        processor.fetch_code(segment.hot_lines)
+        if segment.cold_lines_per_visit:
+            processor.fetch_code(self._next_cold_lines(segment.cold_lines_per_visit))
+        processor.retire(segment.instructions, segment.uops)
+
+        # Data side: bulk references plus private working-set touches.
+        if segment.data_refs:
+            processor.count_data_refs(segment.data_refs)
+        for _ in range(segment.workspace_touches):
+            processor.data_read(self.workspace_base + self._workspace_cursor, 4)
+            self._workspace_cursor = ((self._workspace_cursor + self._workspace_stride)
+                                      % self._workspace_size)
+
+        # Branch sites.
+        for site in segment.branch_sites:
+            taken, address = self._site_outcome(site, data_taken)
+            mispredicted = processor.branch(address, taken, backward=(site.kind == BRANCH_KIND_LOOP))
+            if site.weight > 1:
+                extra = site.weight - 1
+                processor.count_branches(extra, taken=extra if taken else 0,
+                                         mispredictions=extra if mispredicted else 0)
+
+        # Bulk branch population.
+        if segment.bulk_branches:
+            expected = (segment.bulk_branches * self.profile.bulk_branch_misprediction_rate
+                        + self._bulk_mispred_carry)
+            mispredictions = int(expected)
+            self._bulk_mispred_carry = expected - mispredictions
+            btb_misses = int(round(segment.bulk_branches
+                                   * self.profile.bulk_branch_btb_miss_rate))
+            processor.count_branches(segment.bulk_branches, taken=segment.bulk_taken,
+                                     mispredictions=mispredictions,
+                                     btb_misses=btb_misses)
+
+        # Resource stalls charged by the cost model.
+        processor.add_resource_stalls(segment.dependency_stall_cycles,
+                                      segment.fu_stall_cycles,
+                                      segment.ild_stall_cycles)
+
+    def _next_cold_lines(self, count: int) -> Tuple[int, ...]:
+        base = self.layout.cold_pool_base
+        pool = self.layout.cold_pool_lines
+        cursor = self._cold_cursor
+        lines = tuple(base + ((cursor + i) % pool) * LINE_BYTES for i in range(count))
+        self._cold_cursor = (cursor + count) % pool
+        return lines
+
+    def _site_outcome(self, site, data_taken: Optional[bool]) -> Tuple[bool, int]:
+        """Resolve the outcome and (possibly varying) address of a branch site."""
+        kind = site.kind
+        if kind == BRANCH_KIND_LOOP:
+            return True, site.address
+        if kind == BRANCH_KIND_DATA:
+            if data_taken is None:
+                return self._pseudo_random_bit(site.address), site.address
+            return bool(data_taken), site.address
+        if kind == BRANCH_KIND_ALTERNATING:
+            state = self._site_state.get(site.address, 0) ^ 1
+            self._site_state[site.address] = state
+            return bool(state), site.address
+        if kind == BRANCH_KIND_RARE:
+            state = self._site_state.get(site.address, 0) + 1
+            self._site_state[site.address] = state
+            return (state % 64) == 0, site.address
+        # Cold: the site address varies from visit to visit (different call
+        # sites / indirect targets), so the BTB essentially never hits.
+        offset = (self._visit_counter * _HASH_CONSTANT) & 0x1FFF
+        address = site.address + 64 + (offset & ~0x3F)
+        return self._pseudo_random_bit(address), address
+
+    def _pseudo_random_bit(self, salt: int) -> bool:
+        value = ((self._visit_counter + salt) * _HASH_CONSTANT) & 0xFFFFFFFF
+        return bool((value >> 17) & 1)
+
+    # ----------------------------------------------------------- data access
+    def read_address(self, address: int, size: int = 4) -> None:
+        """Simulated load from an arbitrary structure (index node, bucket...)."""
+        self.processor.data_read(address, size)
+
+    def write_address(self, address: int, size: int = 4) -> None:
+        """Simulated store to an arbitrary structure."""
+        self.processor.data_write(address, size)
+
+    def read_fields(self, entry: ScanEntry, layout: RecordLayout,
+                    columns: Sequence[str]) -> Dict[str, object]:
+        """Access and decode the given columns of a heap record.
+
+        Systems with the ``fields_only`` access style touch only the cache
+        lines containing the requested fields; ``full_record`` systems sweep
+        the whole record (slot parsing / record copy), which is what drives
+        their higher L2 data-miss counts per record.
+        """
+        processor = self.processor
+        if self.profile.record_access_style == ACCESS_FIELDS_ONLY:
+            for column in columns:
+                offset, width = layout.field_slice(column)
+                processor.data_read(entry.address + offset, width)
+        else:
+            processor.data_read(entry.address, layout.record_size)
+        view = entry.page.record_view(entry.slot)
+        data = bytes(view[:layout.packed_size])
+        return {column: layout.decode_column(data, column) for column in columns}
+
+    def read_record(self, entry: ScanEntry, layout: RecordLayout) -> Tuple:
+        """Access the full record and decode every column (OLTP paths)."""
+        self.processor.data_read(entry.address, layout.record_size)
+        return layout.decode(bytes(entry.page.record_view(entry.slot)))
+
+    def write_record(self, entry: ScanEntry, layout: RecordLayout) -> None:
+        """Simulate the store traffic of an in-place record update."""
+        self.processor.data_write(entry.address, layout.record_size)
+
+    # ------------------------------------------------------------- workspace
+    def allocate_workspace(self, size: int, alignment: int = 64) -> int:
+        """Allocate a dedicated workspace area (hash table, sort run, ...)."""
+        return self.address_space.allocate("workspace", size, alignment=alignment)
+
+    # -------------------------------------------------------------- progress
+    def record_done(self, count: int = 1) -> None:
+        self.processor.record_done(count)
+
+    def row_produced(self, count: int = 1) -> None:
+        self.rows_produced += count

@@ -1,0 +1,366 @@
+"""Reproductions of every table and figure in the paper's evaluation.
+
+Each function measures (through a shared :class:`~repro.experiments.runner.
+ExperimentRunner`) and returns a :class:`FigureResult` holding the structured
+data plus a text rendering in the spirit of the original chart.  The
+benchmark harness under ``benchmarks/`` calls one function per figure and
+asserts the qualitative claims the paper attaches to it; EXPERIMENTS.md
+records the rendered output next to the paper's numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.breakdown import MEMORY_COMPONENTS
+from ..analysis.metrics import cpi_breakdown
+from ..analysis.report import format_key_values, format_stacked_bars, format_table
+from ..hardware.specs import PENTIUM_II_XEON, ProcessorSpec
+from .runner import ExperimentRunner, QUERY_KINDS, TPCD_SYSTEMS
+
+#: Labels used in the figures, matching the paper's legends.
+GROUP_LABELS = ("Computation", "Memory stalls", "Branch mispredictions", "Resource stalls")
+MEMORY_LABELS = ("L1 D-stalls", "L1 I-stalls", "L2 D-stalls", "L2 I-stalls", "ITLB stalls")
+QUERY_TITLES = {"SRS": "10% Sequential Range Selection",
+                "IRS": "10% Indexed Range Selection",
+                "SJ": "Join"}
+
+
+@dataclass
+class FigureResult:
+    """Structured data plus a text rendering for one reproduced figure/table."""
+
+    name: str
+    title: str
+    data: Dict
+    text: str
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.text
+
+
+# ---------------------------------------------------------------------------
+# Tables 4.1 and 4.2 (platform configuration and measurement method)
+# ---------------------------------------------------------------------------
+def table_4_1(spec: ProcessorSpec = PENTIUM_II_XEON) -> FigureResult:
+    """Table 4.1: cache characteristics of the simulated platform."""
+    data = spec.table_4_1()
+    rows = list(next(iter(data.values())).keys())
+    text = format_table("Table 4.1: Pentium II Xeon cache characteristics",
+                        rows, list(data.keys()),
+                        {column: dict(values) for column, values in data.items()},
+                        formatter=str)
+    return FigureResult(name="table_4_1", title="Cache characteristics", data=data, text=text)
+
+
+def table_4_2() -> FigureResult:
+    """Table 4.2: how each stall-time component is measured."""
+    from ..analysis.breakdown import TABLE_4_2 as methods
+    data = {m.component: {"description": m.description, "method": m.method} for m in methods}
+    lines = ["Table 4.2: Method of measuring each stall time component",
+             "=" * 56]
+    for method in methods:
+        lines.append(f"{method.component:<7}{method.description:<38}{method.method}")
+    return FigureResult(name="table_4_2", title="Measurement methods", data=data,
+                        text="\n".join(lines))
+
+
+# ---------------------------------------------------------------------------
+# Figure 5.1: execution time breakdown into the four components
+# ---------------------------------------------------------------------------
+def figure_5_1(runner: ExperimentRunner) -> FigureResult:
+    """Execution-time breakdown (TC / TM / TB / TR) per system and query."""
+    data: Dict[str, Dict[str, Dict[str, float]]] = {}
+    sections = []
+    for kind in QUERY_KINDS:
+        per_system: Dict[str, Dict[str, float]] = {}
+        for profile in runner.systems():
+            result = runner.micro_result(profile.key, kind)
+            if result is None:
+                continue
+            shares = result.breakdown.shares()
+            per_system[profile.key] = {
+                "Computation": shares["computation"],
+                "Memory stalls": shares["memory"],
+                "Branch mispredictions": shares["branch"],
+                "Resource stalls": shares["resource"],
+            }
+        data[kind] = per_system
+        sections.append(format_table(
+            f"Figure 5.1 ({QUERY_TITLES[kind]}): query execution time breakdown",
+            list(GROUP_LABELS), list(per_system.keys()), per_system))
+    return FigureResult(name="figure_5_1", title="Execution time breakdown",
+                        data=data, text="\n\n".join(sections))
+
+
+# ---------------------------------------------------------------------------
+# Figure 5.2: memory stall breakdown
+# ---------------------------------------------------------------------------
+def figure_5_2(runner: ExperimentRunner) -> FigureResult:
+    """Contributions of the five memory components to the memory stall time."""
+    label_by_component = dict(zip(MEMORY_COMPONENTS, MEMORY_LABELS))
+    data: Dict[str, Dict[str, Dict[str, float]]] = {}
+    sections = []
+    for kind in QUERY_KINDS:
+        per_system: Dict[str, Dict[str, float]] = {}
+        for profile in runner.systems():
+            result = runner.micro_result(profile.key, kind)
+            if result is None:
+                continue
+            shares = result.breakdown.memory_shares()
+            per_system[profile.key] = {label_by_component[name]: value
+                                       for name, value in shares.items()}
+        data[kind] = per_system
+        sections.append(format_table(
+            f"Figure 5.2 ({QUERY_TITLES[kind]}): memory stall time breakdown",
+            list(MEMORY_LABELS), list(per_system.keys()), per_system))
+    return FigureResult(name="figure_5_2", title="Memory stall breakdown",
+                        data=data, text="\n\n".join(sections))
+
+
+# ---------------------------------------------------------------------------
+# Figure 5.3: instructions retired per record
+# ---------------------------------------------------------------------------
+def figure_5_3(runner: ExperimentRunner) -> FigureResult:
+    """Instructions retired per record for each system and query.
+
+    Following the paper's definitions: the sequential selection and the join
+    divide by the number of records in R; the indexed selection divides by
+    the number of *selected* records.
+    """
+    r_rows = runner.r_rows()
+    selected = runner.selected_records()
+    data: Dict[str, Dict[str, float]] = {}
+    for profile in runner.systems():
+        per_query: Dict[str, float] = {}
+        for kind in QUERY_KINDS:
+            result = runner.micro_result(profile.key, kind)
+            if result is None:
+                continue
+            instructions = result.counters.get("INST_RETIRED")
+            divisor = selected if kind == "IRS" else r_rows
+            per_query[kind] = instructions / max(divisor, 1)
+        data[profile.key] = per_query
+    text = format_table("Figure 5.3: Instructions retired per record",
+                        list(QUERY_KINDS), list(data.keys()),
+                        data, formatter=lambda v: f"{v:,.0f}")
+    return FigureResult(name="figure_5_3", title="Instructions retired per record",
+                        data=data, text=text)
+
+
+# ---------------------------------------------------------------------------
+# Figure 5.4: branch misprediction rates; TB and TL1I vs selectivity
+# ---------------------------------------------------------------------------
+def figure_5_4_left(runner: ExperimentRunner) -> FigureResult:
+    """Branch misprediction rates per system and query."""
+    data: Dict[str, Dict[str, float]] = {}
+    for profile in runner.systems():
+        per_query: Dict[str, float] = {}
+        for kind in QUERY_KINDS:
+            result = runner.micro_result(profile.key, kind)
+            if result is None:
+                continue
+            per_query[kind] = result.metrics.branch_misprediction_rate
+        data[profile.key] = per_query
+    text = format_table("Figure 5.4 (left): branch misprediction rates",
+                        list(QUERY_KINDS), list(data.keys()), data)
+    return FigureResult(name="figure_5_4_left", title="Branch misprediction rates",
+                        data=data, text=text)
+
+
+def figure_5_4_right(runner: ExperimentRunner, system_key: str = "D") -> FigureResult:
+    """TB and TL1I (as % of execution time) versus selectivity for one system."""
+    series = runner.selectivity_series(system_key, "SRS")
+    data: Dict[str, Dict[str, float]] = {}
+    for selectivity, result in sorted(series.items()):
+        shares = result.breakdown.component_shares()
+        data[f"{selectivity:.0%}"] = {
+            "Branch mispred. stalls": shares["TB"],
+            "L1 I-cache stalls": shares["TL1I"],
+        }
+    text = format_table(
+        f"Figure 5.4 (right): System {system_key} sequential selection -- "
+        f"TB and TL1I vs selectivity",
+        ["Branch mispred. stalls", "L1 I-cache stalls"], list(data.keys()), data)
+    return FigureResult(name="figure_5_4_right",
+                        title="Branch and L1I stalls vs selectivity",
+                        data=data, text=text)
+
+
+# ---------------------------------------------------------------------------
+# Figure 5.5: TDEP and TFU contributions
+# ---------------------------------------------------------------------------
+def figure_5_5(runner: ExperimentRunner) -> FigureResult:
+    """Dependency and functional-unit stall contributions to execution time."""
+    data: Dict[str, Dict[str, Dict[str, float]]] = {}
+    sections = []
+    for component, label in (("TDEP", "TDEP"), ("TFU", "TFU")):
+        per_system: Dict[str, Dict[str, float]] = {}
+        for profile in runner.systems():
+            per_query: Dict[str, float] = {}
+            for kind in QUERY_KINDS:
+                result = runner.micro_result(profile.key, kind)
+                if result is None:
+                    continue
+                per_query[kind] = result.breakdown.component_shares()[component]
+            per_system[profile.key] = per_query
+        data[label] = per_system
+        sections.append(format_table(
+            f"Figure 5.5: {label} contribution to execution time",
+            list(QUERY_KINDS), list(per_system.keys()), per_system))
+    return FigureResult(name="figure_5_5", title="Resource stall split",
+                        data=data, text="\n\n".join(sections))
+
+
+# ---------------------------------------------------------------------------
+# Figures 5.6 / 5.7: microbenchmark versus TPC-D
+# ---------------------------------------------------------------------------
+def figure_5_6(runner: ExperimentRunner,
+               systems: Sequence[str] = TPCD_SYSTEMS) -> FigureResult:
+    """Clocks-per-instruction breakdown: 10% sequential selection vs TPC-D."""
+    data: Dict[str, Dict[str, Dict[str, float]]] = {"SRS": {}, "TPC-D": {}}
+    for system in systems:
+        srs = runner.micro_result(system, "SRS")
+        assert srs is not None
+        tpcd = runner.tpcd_result(system)
+        data["SRS"][system] = cpi_breakdown(srs.breakdown, srs.counters.get("INST_RETIRED"))
+        data["TPC-D"][system] = cpi_breakdown(tpcd.breakdown, tpcd.counters.get("INST_RETIRED"))
+    rows = ["computation", "memory", "branch", "resource", "total"]
+    sections = [
+        format_table("Figure 5.6 (left): CPI breakdown, 10% sequential selection",
+                     rows, list(data["SRS"].keys()), data["SRS"],
+                     formatter=lambda v: f"{v:.2f}"),
+        format_table("Figure 5.6 (right): CPI breakdown, TPC-D average",
+                     rows, list(data["TPC-D"].keys()), data["TPC-D"],
+                     formatter=lambda v: f"{v:.2f}"),
+    ]
+    return FigureResult(name="figure_5_6", title="CPI breakdown, micro vs TPC-D",
+                        data=data, text="\n\n".join(sections))
+
+
+def figure_5_7(runner: ExperimentRunner,
+               systems: Sequence[str] = TPCD_SYSTEMS) -> FigureResult:
+    """Cache-related stall breakdown: 10% sequential selection vs TPC-D."""
+    cache_components = ("TL1D", "TL1I", "TL2D", "TL2I")
+    labels = dict(zip(cache_components, ("L1 D-stalls", "L1 I-stalls",
+                                         "L2 D-stalls", "L2 I-stalls")))
+    data: Dict[str, Dict[str, Dict[str, float]]] = {"SRS": {}, "TPC-D": {}}
+    for system in systems:
+        for workload_name, result in (("SRS", runner.micro_result(system, "SRS")),
+                                      ("TPC-D", runner.tpcd_result(system))):
+            assert result is not None
+            components = result.breakdown.components
+            total = sum(components[name] for name in cache_components)
+            data[workload_name][system] = {
+                labels[name]: (components[name] / total if total else 0.0)
+                for name in cache_components}
+    sections = [
+        format_table("Figure 5.7 (left): cache-related stalls, 10% sequential selection",
+                     list(labels.values()), list(data["SRS"].keys()), data["SRS"]),
+        format_table("Figure 5.7 (right): cache-related stalls, TPC-D average",
+                     list(labels.values()), list(data["TPC-D"].keys()), data["TPC-D"]),
+    ]
+    return FigureResult(name="figure_5_7", title="Cache stalls, micro vs TPC-D",
+                        data=data, text="\n\n".join(sections))
+
+
+# ---------------------------------------------------------------------------
+# Section 5.5 text: TPC-C observations
+# ---------------------------------------------------------------------------
+def tpcc_summary(runner: ExperimentRunner,
+                 systems: Optional[Sequence[str]] = None) -> FigureResult:
+    """Section 5.5's TPC-C observations: CPI, memory-stall share, L2 dominance."""
+    systems = [p.key for p in runner.systems()] if systems is None else list(systems)
+    data: Dict[str, Dict[str, float]] = {}
+    for system in systems:
+        result = runner.tpcc_result(system)
+        shares = result.breakdown.shares()
+        memory_shares = result.breakdown.memory_shares()
+        data[system] = {
+            "CPI": result.metrics.cpi,
+            "memory stall share": shares["memory"],
+            "L2 share of memory stalls": memory_shares["TL2D"] + memory_shares["TL2I"],
+            "resource stall share": shares["resource"],
+        }
+    text = format_table("Section 5.5: TPC-C workload characteristics",
+                        ["CPI", "memory stall share", "L2 share of memory stalls",
+                         "resource stall share"],
+                        list(data.keys()), data, formatter=lambda v: f"{v:6.2f}")
+    return FigureResult(name="tpcc_summary", title="TPC-C observations", data=data, text=text)
+
+
+# ---------------------------------------------------------------------------
+# Section 5.2 text: record size sweep
+# ---------------------------------------------------------------------------
+def record_size_sweep(runner: ExperimentRunner) -> FigureResult:
+    """TL2D, L1I misses and cycles per record as the record size grows."""
+    series = runner.record_size_series()
+    data: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for (system, size), result in sorted(series.items()):
+        records = max(result.counters.get("RECORDS_PROCESSED"), 1)
+        per_record = result.breakdown.per_record(records)
+        data.setdefault(system, {})[f"{size}B"] = {
+            "TL2D cycles/record": per_record["TL2D"],
+            "L1I misses/record": result.counters.get("IFU_IFETCH_MISS") / records,
+            "cycles/record": per_record["total"],
+        }
+    sections = []
+    for system, columns in data.items():
+        sections.append(format_table(
+            f"Section 5.2: record-size sweep, System {system} sequential selection",
+            ["TL2D cycles/record", "L1I misses/record", "cycles/record"],
+            list(columns.keys()), columns, formatter=lambda v: f"{v:,.1f}"))
+    return FigureResult(name="record_size_sweep", title="Record size sweep",
+                        data=data, text="\n\n".join(sections))
+
+
+# ---------------------------------------------------------------------------
+# Headline claims (Section 1 bullets)
+# ---------------------------------------------------------------------------
+def headline_claims(runner: ExperimentRunner) -> FigureResult:
+    """The paper's introduction bullets, recomputed from the measurements."""
+    stall_shares: List[float] = []
+    l1i_l2d_shares: List[float] = []
+    branch_resource_shares: List[float] = []
+    for profile in runner.systems():
+        for kind in QUERY_KINDS:
+            result = runner.micro_result(profile.key, kind)
+            if result is None:
+                continue
+            shares = result.breakdown.shares()
+            stall_shares.append(1.0 - shares["computation"])
+            memory = result.breakdown.memory_shares()
+            l1i_l2d_shares.append(memory["TL1I"] + memory["TL2D"])
+            branch_resource_shares.append(shares["branch"])
+    data = {
+        "average stall share of execution time": sum(stall_shares) / len(stall_shares),
+        "minimum stall share": min(stall_shares),
+        "average (TL1I+TL2D) share of memory stalls": sum(l1i_l2d_shares) / len(l1i_l2d_shares),
+        "minimum (TL1I+TL2D) share of memory stalls": min(l1i_l2d_shares),
+        "average branch misprediction share": sum(branch_resource_shares) / len(branch_resource_shares),
+    }
+    text = format_key_values("Section 1: headline claims recomputed", data)
+    return FigureResult(name="headline_claims", title="Headline claims", data=data, text=text)
+
+
+# ---------------------------------------------------------------------------
+# Convenience: run everything (used by the examples and EXPERIMENTS.md script)
+# ---------------------------------------------------------------------------
+def all_figures(runner: ExperimentRunner) -> List[FigureResult]:
+    """Generate every reproduced table and figure, in paper order."""
+    return [
+        table_4_1(runner.config.spec),
+        table_4_2(),
+        figure_5_1(runner),
+        figure_5_2(runner),
+        figure_5_3(runner),
+        figure_5_4_left(runner),
+        figure_5_4_right(runner),
+        figure_5_5(runner),
+        figure_5_6(runner),
+        figure_5_7(runner),
+        tpcc_summary(runner),
+        record_size_sweep(runner),
+        headline_claims(runner),
+    ]

@@ -1,0 +1,90 @@
+"""Main-memory latency and bandwidth accounting.
+
+Section 5.2.1 of the paper argues that the workload is *latency bound*: the
+measured memory latency is 60--70 cycles, and "most of the time the overall
+execution uses less than one third of the available memory bandwidth".  The
+paper therefore estimates ``TL2D`` as the number of L2 data misses multiplied
+by the memory latency, and argues the estimate cannot be far off because
+there is little queuing.
+
+This module keeps the book-keeping needed to make (and verify) that argument
+in the simulation: every L2 miss and every write-back is an occupancy event on
+the memory bus, and :meth:`MainMemory.bandwidth_utilisation` reports the
+fraction of peak bandwidth consumed over the measured execution window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .specs import MemorySpec
+
+
+@dataclass
+class MemoryStats:
+    """Raw main-memory traffic counters."""
+
+    reads: int = 0
+    writebacks: int = 0
+    bytes_transferred: int = 0
+    latency_cycles_accumulated: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "reads": self.reads,
+            "writebacks": self.writebacks,
+            "bytes_transferred": self.bytes_transferred,
+            "latency_cycles_accumulated": self.latency_cycles_accumulated,
+        }
+
+
+class MainMemory:
+    """Latency/bandwidth model for the DRAM behind the L2 cache."""
+
+    __slots__ = ("spec", "line_bytes", "stats")
+
+    def __init__(self, spec: MemorySpec, line_bytes: int = 32) -> None:
+        self.spec = spec
+        self.line_bytes = line_bytes
+        self.stats = MemoryStats()
+
+    # ------------------------------------------------------------------ API
+    def fill(self, count: int = 1) -> int:
+        """Record ``count`` cache-line fills from memory; returns latency cycles."""
+        latency = count * self.spec.latency_cycles
+        stats = self.stats
+        stats.reads += count
+        stats.bytes_transferred += count * self.line_bytes
+        stats.latency_cycles_accumulated += latency
+        return latency
+
+    def writeback(self, count: int = 1) -> None:
+        """Record ``count`` dirty-line write-backs (bandwidth only, no stall)."""
+        stats = self.stats
+        stats.writebacks += count
+        stats.bytes_transferred += count * self.line_bytes
+
+    # ------------------------------------------------------------- analysis
+    def bandwidth_utilisation(self, elapsed_cycles: float) -> float:
+        """Fraction of peak bus bandwidth used over ``elapsed_cycles``.
+
+        The paper's latency-bound claim corresponds to this value staying
+        below roughly one third for the micro-benchmark queries.
+        """
+        if elapsed_cycles <= 0:
+            return 0.0
+        peak_bytes = self.spec.peak_bandwidth_bytes_per_cycle * elapsed_cycles
+        if peak_bytes <= 0:
+            return 0.0
+        return min(self.stats.bytes_transferred / peak_bytes, 1.0)
+
+    def is_latency_bound(self, elapsed_cycles: float, threshold: float = 1.0 / 3.0) -> bool:
+        """True when bandwidth utilisation is below ``threshold`` (default 1/3)."""
+        return self.bandwidth_utilisation(elapsed_cycles) < threshold
+
+    def reset_stats(self) -> None:
+        self.stats = MemoryStats()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (f"MainMemory(latency={self.spec.latency_cycles} cycles, "
+                f"peak={self.spec.peak_bandwidth_bytes_per_cycle:.2f} B/cycle)")

@@ -1,0 +1,9 @@
+"""Secondary index structures (non-clustered B+-tree)."""
+
+from .btree import (BTreeError, BTreeIndex, IndexMatch, IndexProbeStep,
+                    DEFAULT_INTERNAL_CAPACITY, DEFAULT_LEAF_CAPACITY)
+
+__all__ = [
+    "BTreeError", "BTreeIndex", "IndexMatch", "IndexProbeStep",
+    "DEFAULT_INTERNAL_CAPACITY", "DEFAULT_LEAF_CAPACITY",
+]

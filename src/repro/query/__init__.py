@@ -1,0 +1,22 @@
+"""Query representation: expressions, logical queries, physical plans, planner."""
+
+from .expressions import (Aggregate, AggregateFunction, AggregateState, And, Between,
+                          ColumnRef, Comparison, ComparisonOp, Const, Expression,
+                          ExpressionError, Not, Or, avg, column, const, count_star,
+                          equals, range_predicate)
+from .planner import DefaultPolicy, Planner, PlannerError, PlannerPolicy, extract_range_bounds
+from .plans import (AggregatePlan, HashJoinPlan, IndexNestedLoopJoinPlan,
+                    IndexPointLookupPlan, IndexRangeScanPlan, JoinQuery, LogicalQuery,
+                    NestedLoopJoinPlan, PhysicalPlan, SelectionQuery, SeqScanPlan,
+                    UpdatePlan, UpdateQuery, describe_plan)
+
+__all__ = [
+    "Aggregate", "AggregateFunction", "AggregateState", "And", "Between", "ColumnRef",
+    "Comparison", "ComparisonOp", "Const", "Expression", "ExpressionError", "Not", "Or",
+    "avg", "column", "const", "count_star", "equals", "range_predicate",
+    "DefaultPolicy", "Planner", "PlannerError", "PlannerPolicy", "extract_range_bounds",
+    "AggregatePlan", "HashJoinPlan", "IndexNestedLoopJoinPlan", "IndexPointLookupPlan",
+    "IndexRangeScanPlan", "JoinQuery", "LogicalQuery", "NestedLoopJoinPlan",
+    "PhysicalPlan", "SelectionQuery", "SeqScanPlan", "UpdatePlan", "UpdateQuery",
+    "describe_plan",
+]

@@ -1,0 +1,231 @@
+"""Logical query descriptions and physical plan representations.
+
+The study uses deliberately simple queries (Section 3.3) so the logical layer
+is correspondingly small: single-table aggregate selections and two-table
+equijoins with an aggregate on top.  The planner (:mod:`repro.query.planner`)
+lowers a logical query to a physical plan; the physical plan is a tree of
+descriptors that the execution layer instantiates into iterators.
+
+Keeping explicit logical and physical layers (rather than executing the
+logical form directly) matters for the reproduction because the paper's
+System A behaves differently from B, C and D at exactly this boundary: its
+optimiser declines to use the non-clustered index for the 10% range
+selection, so the *same logical query* runs as a sequential scan on A and as
+an index scan on the others.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple, Union
+
+from .expressions import Aggregate, Expression
+
+
+# --------------------------------------------------------------------------
+# Logical queries
+# --------------------------------------------------------------------------
+@dataclass(frozen=True)
+class SelectionQuery:
+    """``SELECT <aggregates> FROM <table> WHERE <predicate>``.
+
+    ``prefer_index_on`` names the column whose secondary index the query
+    *invites* the planner to use (the paper's indexed range selection is the
+    same SQL resubmitted after creating the index); whether the planner
+    accepts the invitation depends on the system profile and on index
+    availability.
+    """
+
+    table: str
+    aggregates: Tuple[Aggregate, ...]
+    predicate: Optional[Expression] = None
+    prefer_index_on: Optional[str] = None
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.aggregates:
+            raise ValueError("SelectionQuery requires at least one aggregate")
+
+
+@dataclass(frozen=True)
+class JoinQuery:
+    """``SELECT <aggregates> FROM <left>, <right> WHERE left.col = right.col``."""
+
+    left_table: str
+    right_table: str
+    left_column: str
+    right_column: str
+    aggregates: Tuple[Aggregate, ...]
+    predicate: Optional[Expression] = None
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.aggregates:
+            raise ValueError("JoinQuery requires at least one aggregate")
+
+
+@dataclass(frozen=True)
+class UpdateQuery:
+    """``UPDATE <table> SET <column> = <value> WHERE <key_column> = <key>``.
+
+    Point updates through an index; used by the OLTP (TPC-C-style) workload.
+    """
+
+    table: str
+    key_column: str
+    key_value: object
+    set_column: str
+    set_value: object
+    label: str = ""
+
+
+LogicalQuery = Union[SelectionQuery, JoinQuery, UpdateQuery]
+
+
+# --------------------------------------------------------------------------
+# Physical plans
+# --------------------------------------------------------------------------
+@dataclass(frozen=True)
+class SeqScanPlan:
+    """Full sequential scan of a table with an optional filter predicate."""
+
+    table: str
+    predicate: Optional[Expression] = None
+
+    @property
+    def access_path(self) -> str:
+        return "seq_scan"
+
+
+@dataclass(frozen=True)
+class IndexRangeScanPlan:
+    """Range probe of a non-clustered index followed by heap rid fetches.
+
+    ``low``/``high`` bound the indexed column; the residual predicate (if
+    any) is re-evaluated against the fetched record, as real executors do.
+    """
+
+    table: str
+    column: str
+    low: Optional[object]
+    high: Optional[object]
+    include_low: bool = False
+    include_high: bool = False
+    residual_predicate: Optional[Expression] = None
+
+    @property
+    def access_path(self) -> str:
+        return "index_scan"
+
+
+@dataclass(frozen=True)
+class IndexPointLookupPlan:
+    """Exact-match index lookup (OLTP point queries/updates)."""
+
+    table: str
+    column: str
+    value: object
+
+    @property
+    def access_path(self) -> str:
+        return "index_lookup"
+
+
+ScanPlan = Union[SeqScanPlan, IndexRangeScanPlan, IndexPointLookupPlan]
+
+
+@dataclass(frozen=True)
+class HashJoinPlan:
+    """Hash join: build on the (smaller) right input, probe with the left."""
+
+    probe: ScanPlan
+    build: ScanPlan
+    probe_column: str
+    build_column: str
+
+    @property
+    def algorithm(self) -> str:
+        return "hash_join"
+
+
+@dataclass(frozen=True)
+class NestedLoopJoinPlan:
+    """Tuple-at-a-time nested-loop join (inner input rescanned per outer row)."""
+
+    outer: ScanPlan
+    inner: ScanPlan
+    outer_column: str
+    inner_column: str
+
+    @property
+    def algorithm(self) -> str:
+        return "nested_loop_join"
+
+
+@dataclass(frozen=True)
+class IndexNestedLoopJoinPlan:
+    """Nested-loop join driving an index lookup on the inner table per outer row."""
+
+    outer: ScanPlan
+    inner_table: str
+    inner_column: str
+    outer_column: str
+
+    @property
+    def algorithm(self) -> str:
+        return "index_nested_loop_join"
+
+
+JoinPlan = Union[HashJoinPlan, NestedLoopJoinPlan, IndexNestedLoopJoinPlan]
+
+
+@dataclass(frozen=True)
+class AggregatePlan:
+    """Scalar aggregation over the rows produced by the input plan."""
+
+    input: Union[ScanPlan, JoinPlan]
+    aggregates: Tuple[Aggregate, ...]
+
+
+@dataclass(frozen=True)
+class UpdatePlan:
+    """Index point lookup followed by an in-place record update."""
+
+    lookup: IndexPointLookupPlan
+    set_column: str
+    set_value: object
+
+
+PhysicalPlan = Union[AggregatePlan, UpdatePlan, ScanPlan, JoinPlan]
+
+
+def describe_plan(plan: PhysicalPlan, indent: int = 0) -> str:
+    """Human-readable, EXPLAIN-style rendering of a physical plan."""
+    pad = "  " * indent
+    if isinstance(plan, AggregatePlan):
+        aggs = ", ".join(a.label for a in plan.aggregates)
+        return f"{pad}Aggregate [{aggs}]\n" + describe_plan(plan.input, indent + 1)
+    if isinstance(plan, UpdatePlan):
+        return (f"{pad}Update set {plan.set_column}\n"
+                + describe_plan(plan.lookup, indent + 1))
+    if isinstance(plan, HashJoinPlan):
+        return (f"{pad}HashJoin probe.{plan.probe_column} = build.{plan.build_column}\n"
+                + describe_plan(plan.probe, indent + 1)
+                + "\n" + describe_plan(plan.build, indent + 1))
+    if isinstance(plan, NestedLoopJoinPlan):
+        return (f"{pad}NestedLoopJoin outer.{plan.outer_column} = inner.{plan.inner_column}\n"
+                + describe_plan(plan.outer, indent + 1)
+                + "\n" + describe_plan(plan.inner, indent + 1))
+    if isinstance(plan, IndexNestedLoopJoinPlan):
+        return (f"{pad}IndexNestedLoopJoin outer.{plan.outer_column} = "
+                f"{plan.inner_table}.{plan.inner_column} (index)\n"
+                + describe_plan(plan.outer, indent + 1))
+    if isinstance(plan, SeqScanPlan):
+        predicate = " (filtered)" if plan.predicate is not None else ""
+        return f"{pad}SeqScan {plan.table}{predicate}"
+    if isinstance(plan, IndexRangeScanPlan):
+        return (f"{pad}IndexRangeScan {plan.table}.{plan.column} in "
+                f"({plan.low!r}, {plan.high!r})")
+    if isinstance(plan, IndexPointLookupPlan):
+        return f"{pad}IndexPointLookup {plan.table}.{plan.column} = {plan.value!r}"
+    raise TypeError(f"unknown plan node {plan!r}")

@@ -1,0 +1,20 @@
+"""Storage substrate: address space, schemas, pages, buffer pool, heap files, catalog."""
+
+from .address_space import AddressSpace, AddressSpaceError, Region
+from .buffer_pool import BufferPool, BufferPoolError, BufferPoolStats
+from .catalog import Catalog, CatalogError, Table
+from .heapfile import HeapFile, HeapFileError, ScanEntry
+from .page import (DEFAULT_PAGE_SIZE, PAGE_HEADER_BYTES, PageError, RecordId,
+                   SlottedPage)
+from .schema import (Column, ColumnType, RecordLayout, Schema, SchemaError,
+                     microbenchmark_schema)
+
+__all__ = [
+    "AddressSpace", "AddressSpaceError", "Region",
+    "BufferPool", "BufferPoolError", "BufferPoolStats",
+    "Catalog", "CatalogError", "Table",
+    "HeapFile", "HeapFileError", "ScanEntry",
+    "DEFAULT_PAGE_SIZE", "PAGE_HEADER_BYTES", "PageError", "RecordId", "SlottedPage",
+    "Column", "ColumnType", "RecordLayout", "Schema", "SchemaError",
+    "microbenchmark_schema",
+]

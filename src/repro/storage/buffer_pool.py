@@ -1,0 +1,150 @@
+"""Memory-resident buffer pool.
+
+The paper configures every DBMS with a buffer pool "large enough to fit the
+datasets for all the queries" and verifies that no significant I/O happens
+during measurement: the study is explicitly about processor and memory
+behaviour, not the I/O subsystem.  The buffer pool here reflects that setup:
+
+* every page lives in memory for the lifetime of the pool (no eviction path
+  is exercised by the experiments, although an LRU eviction policy and a
+  capacity limit are implemented so that the component is a complete
+  substrate and can be stress-tested);
+* each frame receives a stable, page-aligned simulated virtual address from
+  the ``heap`` (or ``index``) region of the :class:`~repro.storage.
+  address_space.AddressSpace`, which is what ties the logical DBMS objects to
+  the cache simulation;
+* pin counts and hit/miss statistics are maintained so tests can assert that
+  the workloads are indeed memory resident (miss count stays zero after
+  load).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, Optional, Tuple
+
+from .address_space import AddressSpace
+from .page import DEFAULT_PAGE_SIZE, PageError, SlottedPage
+
+
+class BufferPoolError(RuntimeError):
+    """Raised on buffer-pool misuse (unknown page, over-capacity, pin leaks)."""
+
+
+@dataclass
+class BufferPoolStats:
+    """Fetch statistics (hits vs. faults) and occupancy."""
+
+    fetches: int = 0
+    hits: int = 0
+    faults: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.fetches if self.fetches else 0.0
+
+    def as_dict(self) -> dict:
+        return {"fetches": self.fetches, "hits": self.hits, "faults": self.faults,
+                "evictions": self.evictions, "hit_rate": self.hit_rate}
+
+
+class BufferPool:
+    """Page allocator and cache of :class:`SlottedPage` frames."""
+
+    def __init__(self,
+                 address_space: AddressSpace,
+                 region: str = "heap",
+                 page_size: int = DEFAULT_PAGE_SIZE,
+                 capacity_pages: Optional[int] = None) -> None:
+        self.address_space = address_space
+        self.region = region
+        self.page_size = page_size
+        self.capacity_pages = capacity_pages
+        self._frames: "OrderedDict[int, SlottedPage]" = OrderedDict()
+        self._pins: Dict[int, int] = {}
+        self._next_page_number = 0
+        self.stats = BufferPoolStats()
+
+    # ------------------------------------------------------------ allocation
+    def allocate_page(self) -> SlottedPage:
+        """Create a brand-new page with a stable virtual address."""
+        page_number = self._next_page_number
+        self._next_page_number += 1
+        base_address = self.address_space.allocate(self.region, self.page_size,
+                                                   alignment=self.page_size)
+        page = SlottedPage(page_number, base_address, self.page_size)
+        self._admit(page)
+        return page
+
+    def _admit(self, page: SlottedPage) -> None:
+        if self.capacity_pages is not None and len(self._frames) >= self.capacity_pages:
+            self._evict_one()
+        self._frames[page.page_number] = page
+        self._frames.move_to_end(page.page_number)
+
+    def _evict_one(self) -> None:
+        for page_number in self._frames:
+            if self._pins.get(page_number, 0) == 0:
+                victim = self._frames.pop(page_number)
+                if victim.dirty:
+                    # A real system would write the page out here; the
+                    # memory-resident experiments never reach this path.
+                    victim.dirty = False
+                self.stats.evictions += 1
+                return
+        raise BufferPoolError("buffer pool is full and every page is pinned")
+
+    # ---------------------------------------------------------------- fetch
+    def fetch_page(self, page_number: int, pin: bool = False) -> SlottedPage:
+        """Return the frame for ``page_number`` (always a hit once loaded)."""
+        self.stats.fetches += 1
+        page = self._frames.get(page_number)
+        if page is None:
+            self.stats.faults += 1
+            raise BufferPoolError(
+                f"page {page_number} is not resident; the experiments assume a "
+                f"memory-resident database (no I/O path)")
+        self.stats.hits += 1
+        self._frames.move_to_end(page_number)
+        if pin:
+            self.pin(page_number)
+        return page
+
+    def page_exists(self, page_number: int) -> bool:
+        return page_number in self._frames
+
+    # ----------------------------------------------------------------- pins
+    def pin(self, page_number: int) -> None:
+        if page_number not in self._frames:
+            raise BufferPoolError(f"cannot pin non-resident page {page_number}")
+        self._pins[page_number] = self._pins.get(page_number, 0) + 1
+
+    def unpin(self, page_number: int) -> None:
+        count = self._pins.get(page_number, 0)
+        if count <= 0:
+            raise BufferPoolError(f"unpin of page {page_number} without matching pin")
+        if count == 1:
+            del self._pins[page_number]
+        else:
+            self._pins[page_number] = count - 1
+
+    def pin_count(self, page_number: int) -> int:
+        return self._pins.get(page_number, 0)
+
+    # ------------------------------------------------------------ iteration
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    def pages(self) -> Iterator[SlottedPage]:
+        """Iterate over resident pages in page-number order."""
+        for page_number in sorted(self._frames):
+            yield self._frames[page_number]
+
+    def resident_bytes(self) -> int:
+        return len(self._frames) * self.page_size
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (f"BufferPool(region={self.region!r}, pages={len(self._frames)}, "
+                f"page_size={self.page_size})")

@@ -1,0 +1,165 @@
+"""Tables and the system catalog.
+
+A :class:`Table` couples a schema/layout with the heap file holding its
+records and any secondary indexes built over it.  The :class:`Catalog` owns
+the simulated address space, the buffer pools (separate pools for heap pages
+and index pages so the two kinds of data live in distinct address regions),
+and the set of tables -- it is the storage-level facade the engine layer
+builds on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .address_space import AddressSpace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance (storage <-> index)
+    from ..index.btree import BTreeIndex
+from .buffer_pool import BufferPool
+from .heapfile import HeapFile
+from .page import DEFAULT_PAGE_SIZE, RecordId
+from .schema import RecordLayout, Schema
+
+
+class CatalogError(RuntimeError):
+    """Raised for unknown tables/indexes or conflicting definitions."""
+
+
+@dataclass
+class Table:
+    """A stored table: schema, layout, heap file and secondary indexes."""
+
+    name: str
+    schema: Schema
+    layout: RecordLayout
+    heap: HeapFile
+    indexes: Dict[str, "BTreeIndex"] = field(default_factory=dict)
+
+    # ------------------------------------------------------------ mutation
+    def insert(self, values: Sequence) -> RecordId:
+        """Insert a row, maintaining every secondary index."""
+        rid = self.heap.insert(values)
+        if self.indexes:
+            for column_name, index in self.indexes.items():
+                key = values[self.schema.index_of(column_name)]
+                index.insert(key, rid)
+        return rid
+
+    def insert_many(self, rows: Iterable[Sequence]) -> int:
+        count = 0
+        for values in rows:
+            self.insert(values)
+            count += 1
+        return count
+
+    def update(self, rid: RecordId, values: Sequence) -> None:
+        """Update a row in place, maintaining indexes on changed keys."""
+        if self.indexes:
+            old_values = self.heap.read_values(rid)
+            for column_name, index in self.indexes.items():
+                position = self.schema.index_of(column_name)
+                if old_values[position] != values[position]:
+                    index.delete(old_values[position], rid)
+                    index.insert(values[position], rid)
+        self.heap.update(rid, values)
+
+    def delete(self, rid: RecordId) -> None:
+        if self.indexes:
+            old_values = self.heap.read_values(rid)
+            for column_name, index in self.indexes.items():
+                index.delete(old_values[self.schema.index_of(column_name)], rid)
+        self.heap.delete(rid)
+
+    # -------------------------------------------------------------- queries
+    @property
+    def row_count(self) -> int:
+        return self.heap.record_count
+
+    def index_on(self, column_name: str) -> Optional["BTreeIndex"]:
+        return self.indexes.get(column_name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Table({self.name!r}, {self.row_count} rows, indexes={sorted(self.indexes)})"
+
+
+class Catalog:
+    """The storage manager: address space, buffer pools and table registry."""
+
+    def __init__(self,
+                 page_size: int = DEFAULT_PAGE_SIZE,
+                 address_space: Optional[AddressSpace] = None) -> None:
+        self.page_size = page_size
+        self.address_space = address_space or AddressSpace()
+        self.heap_pool = BufferPool(self.address_space, region="heap", page_size=page_size)
+        self.index_pool = BufferPool(self.address_space, region="index", page_size=page_size)
+        self._tables: Dict[str, Table] = {}
+
+    # ----------------------------------------------------------- DDL paths
+    def create_table(self, name: str, schema: Schema,
+                     record_size: Optional[int] = None) -> Table:
+        if name in self._tables:
+            raise CatalogError(f"table {name!r} already exists")
+        layout = RecordLayout.build(schema, record_size=record_size)
+        heap = HeapFile(name, layout, self.heap_pool)
+        table = Table(name=name, schema=schema, layout=layout, heap=heap)
+        self._tables[name] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        if name not in self._tables:
+            raise CatalogError(f"table {name!r} does not exist")
+        del self._tables[name]
+
+    def create_index(self, table_name: str, column_name: str,
+                     unique: bool = False) -> "BTreeIndex":
+        """Create (and populate) a non-clustered B+-tree on one column."""
+        table = self.table(table_name)
+        from ..index.btree import BTreeIndex  # local import: storage <-> index cycle
+
+        table.schema.column(column_name)  # validates existence
+        if column_name in table.indexes:
+            raise CatalogError(
+                f"index on {table_name}.{column_name} already exists")
+        index = BTreeIndex(name=f"{table_name}_{column_name}_idx",
+                           address_space=self.address_space, unique=unique)
+        position = table.schema.index_of(column_name)
+        layout = table.layout
+        entries = []
+        for entry in table.heap.scan():
+            key = layout.decode_column(bytes(entry.page.record_view(entry.slot)), column_name)
+            entries.append((key, entry.rid))
+        index.bulk_load(entries)
+        table.indexes[column_name] = index
+        return index
+
+    def drop_index(self, table_name: str, column_name: str) -> None:
+        table = self.table(table_name)
+        if column_name not in table.indexes:
+            raise CatalogError(f"no index on {table_name}.{column_name}")
+        del table.indexes[column_name]
+
+    # -------------------------------------------------------------- lookups
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise CatalogError(f"table {name!r} does not exist") from None
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def table_names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._tables))
+
+    def tables(self) -> Iterator[Table]:
+        for name in sorted(self._tables):
+            yield self._tables[name]
+
+    def total_data_bytes(self) -> int:
+        """Total relation bytes resident (the 'memory resident database' size)."""
+        return sum(table.heap.data_bytes() for table in self._tables.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Catalog(tables={list(self.table_names())})"

@@ -1,0 +1,158 @@
+"""Heap files: unordered collections of fixed-layout records across pages.
+
+A heap file appends records into slotted pages allocated from a buffer pool,
+keeps the list of page numbers it owns, and supports the access paths the
+microbenchmark needs:
+
+* full sequential scan in storage order (the access pattern of the paper's
+  sequential range selection),
+* fetch-by-RID (the access pattern of the non-clustered index selection,
+  where the leaf entries of the B+-tree point back into the heap), and
+* simple record updates/deletes for the OLTP-style workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .buffer_pool import BufferPool
+from .page import PageError, RecordId, SlottedPage
+from .schema import RecordLayout
+
+
+class HeapFileError(RuntimeError):
+    """Raised on invalid heap-file operations."""
+
+
+@dataclass(frozen=True)
+class ScanEntry:
+    """One record produced by a physical scan.
+
+    ``address`` is the simulated virtual address of the record's first byte,
+    which the executor combines with the layout's field offsets to produce
+    the data accesses it presents to the processor model.
+    """
+
+    rid: RecordId
+    page: SlottedPage
+    slot: int
+    address: int
+
+
+class HeapFile:
+    """An append-oriented file of fixed-layout records."""
+
+    def __init__(self, name: str, layout: RecordLayout, buffer_pool: BufferPool) -> None:
+        self.name = name
+        self.layout = layout
+        self.buffer_pool = buffer_pool
+        self._page_numbers: List[int] = []
+        self._record_count = 0
+        self._current_page: Optional[SlottedPage] = None
+
+    # ------------------------------------------------------------ mutation
+    def insert(self, values: Sequence) -> RecordId:
+        """Encode and append one record; returns its record id."""
+        record_bytes = self.layout.encode(values)
+        page = self._page_for_insert(len(record_bytes))
+        slot = page.insert(record_bytes)
+        self._record_count += 1
+        return RecordId(page.page_number, slot)
+
+    def insert_many(self, rows: Iterable[Sequence]) -> int:
+        """Bulk insert; returns the number of records inserted."""
+        count = 0
+        for values in rows:
+            self.insert(values)
+            count += 1
+        return count
+
+    def delete(self, rid: RecordId) -> None:
+        page = self._page(rid.page_number)
+        page.delete(rid.slot)
+        self._record_count -= 1
+
+    def update(self, rid: RecordId, values: Sequence) -> None:
+        """In-place update (fixed-size records always fit)."""
+        page = self._page(rid.page_number)
+        page.update_in_place(rid.slot, self.layout.encode(values))
+
+    def _page_for_insert(self, record_size: int) -> SlottedPage:
+        page = self._current_page
+        if page is None or not page.has_room_for(record_size):
+            page = self.buffer_pool.allocate_page()
+            self._page_numbers.append(page.page_number)
+            self._current_page = page
+        return page
+
+    def _page(self, page_number: int) -> SlottedPage:
+        if page_number not in set(self._page_numbers):
+            raise HeapFileError(f"page {page_number} does not belong to heap file {self.name!r}")
+        return self.buffer_pool.fetch_page(page_number)
+
+    # -------------------------------------------------------------- queries
+    @property
+    def record_count(self) -> int:
+        return self._record_count
+
+    @property
+    def page_count(self) -> int:
+        return len(self._page_numbers)
+
+    @property
+    def records_per_page(self) -> int:
+        """Capacity of one page for this layout (used by cost estimates)."""
+        from .page import PAGE_HEADER_BYTES, SLOT_ENTRY_BYTES
+        usable = self.buffer_pool.page_size - PAGE_HEADER_BYTES
+        return max(usable // (self.layout.record_size + SLOT_ENTRY_BYTES), 1)
+
+    def data_bytes(self) -> int:
+        """Bytes of record payload stored (working-set size of a full scan)."""
+        return self._record_count * self.layout.record_size
+
+    def page_numbers(self) -> Tuple[int, ...]:
+        return tuple(self._page_numbers)
+
+    # ----------------------------------------------------------------- scan
+    def scan(self) -> Iterator[ScanEntry]:
+        """Iterate over all live records in storage order."""
+        fetch = self.buffer_pool.fetch_page
+        for page_number in self._page_numbers:
+            page = fetch(page_number)
+            for slot in page.live_slots():
+                yield ScanEntry(rid=RecordId(page_number, slot), page=page,
+                                slot=slot, address=page.slot_address(slot))
+
+    def scan_pages(self) -> Iterator[Tuple[SlottedPage, List[int]]]:
+        """Iterate page-at-a-time: ``(page, [live slots])``.
+
+        The executor uses this form so it can charge the per-page buffer-pool
+        management code path once per page boundary crossing (one of the
+        candidate explanations in Section 5.2.2 for the record-size effect on
+        L1 instruction misses).
+        """
+        fetch = self.buffer_pool.fetch_page
+        for page_number in self._page_numbers:
+            page = fetch(page_number)
+            yield page, list(page.live_slots())
+
+    def fetch(self, rid: RecordId) -> ScanEntry:
+        """Fetch one record by rid (index access path)."""
+        page = self._page(rid.page_number)
+        if not page.is_live(rid.slot):
+            raise HeapFileError(f"record {rid} is deleted")
+        return ScanEntry(rid=rid, page=page, slot=rid.slot,
+                         address=page.slot_address(rid.slot))
+
+    def read_values(self, rid: RecordId) -> Tuple:
+        """Decode the full record at ``rid`` (convenience/tests)."""
+        entry = self.fetch(rid)
+        return self.layout.decode(bytes(entry.page.record_view(entry.slot)))
+
+    def __len__(self) -> int:
+        return self._record_count
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (f"HeapFile({self.name!r}, {self._record_count} records, "
+                f"{self.page_count} pages)")

@@ -1,0 +1,163 @@
+"""Slotted pages.
+
+Pages are the unit of buffer-pool management.  Each page owns a byte buffer of
+``page_size`` bytes, a small header and a slot directory growing from the end
+of the page toward the data area growing from the front -- the classic slotted
+page organisation.  Records are stored contiguously, so a sequential scan of a
+heap file sweeps virtual addresses monotonically, which is the access pattern
+whose L2 behaviour Section 5.2.1 analyses.
+
+Every page is assigned a stable, page-aligned virtual address by the buffer
+pool; :meth:`SlottedPage.slot_address` and :meth:`SlottedPage.field_address`
+translate a slot (and field offset) into the address the execution engine
+presents to the simulated processor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+DEFAULT_PAGE_SIZE = 8192
+
+#: Bytes reserved at the start of each page for the header (page id, slot
+#: count, free-space pointer, LSN placeholder).
+PAGE_HEADER_BYTES = 24
+
+#: Bytes per slot-directory entry (record offset + record length).
+SLOT_ENTRY_BYTES = 4
+
+
+class PageError(RuntimeError):
+    """Raised on invalid page operations (overflow, bad slot, ...)."""
+
+
+@dataclass(frozen=True)
+class RecordId:
+    """Physical record identifier: (page number, slot number)."""
+
+    page_number: int
+    slot: int
+
+    def __str__(self) -> str:  # pragma: no cover - debug helper
+        return f"RID({self.page_number},{self.slot})"
+
+
+class SlottedPage:
+    """A fixed-size page with a slot directory.
+
+    The implementation stores record payloads in a shared ``bytearray`` and
+    keeps the slot directory as Python lists of offsets and lengths.  Deleted
+    slots keep their directory entry with a length of ``-1`` (tombstone), as
+    real systems do, so record ids of surviving records stay valid.
+    """
+
+    __slots__ = ("page_number", "page_size", "base_address", "_buffer",
+                 "_offsets", "_lengths", "_free_offset", "dirty")
+
+    def __init__(self, page_number: int, base_address: int,
+                 page_size: int = DEFAULT_PAGE_SIZE) -> None:
+        if page_size <= PAGE_HEADER_BYTES + SLOT_ENTRY_BYTES:
+            raise PageError(f"page_size {page_size} is too small")
+        self.page_number = page_number
+        self.page_size = page_size
+        self.base_address = base_address
+        self._buffer = bytearray(page_size)
+        self._offsets: List[int] = []
+        self._lengths: List[int] = []
+        self._free_offset = PAGE_HEADER_BYTES
+        self.dirty = False
+
+    # ------------------------------------------------------------ capacity
+    @property
+    def slot_count(self) -> int:
+        """Number of slot-directory entries, including tombstones."""
+        return len(self._offsets)
+
+    @property
+    def live_records(self) -> int:
+        return sum(1 for length in self._lengths if length >= 0)
+
+    def free_space(self) -> int:
+        """Bytes available for a new record (payload plus its slot entry)."""
+        directory_bytes = (self.slot_count + 1) * SLOT_ENTRY_BYTES
+        return self.page_size - self._free_offset - directory_bytes
+
+    def has_room_for(self, record_size: int) -> bool:
+        return self.free_space() >= record_size
+
+    # ------------------------------------------------------------- mutation
+    def insert(self, record_bytes: bytes) -> int:
+        """Insert a record; returns the slot number.
+
+        Raises :class:`PageError` when the record does not fit.
+        """
+        size = len(record_bytes)
+        if not self.has_room_for(size):
+            raise PageError(
+                f"page {self.page_number}: record of {size} bytes does not fit "
+                f"({self.free_space()} bytes free)")
+        offset = self._free_offset
+        self._buffer[offset:offset + size] = record_bytes
+        self._free_offset += size
+        self._offsets.append(offset)
+        self._lengths.append(size)
+        self.dirty = True
+        return len(self._offsets) - 1
+
+    def delete(self, slot: int) -> None:
+        """Tombstone a slot (space is not compacted)."""
+        self._check_slot(slot)
+        self._lengths[slot] = -1
+        self.dirty = True
+
+    def update_in_place(self, slot: int, record_bytes: bytes) -> None:
+        """Overwrite a record of identical size (fixed-size record update)."""
+        self._check_slot(slot)
+        length = self._lengths[slot]
+        if length != len(record_bytes):
+            raise PageError(
+                f"in-place update requires identical size (old {length}, new {len(record_bytes)})")
+        offset = self._offsets[slot]
+        self._buffer[offset:offset + length] = record_bytes
+        self.dirty = True
+
+    # --------------------------------------------------------------- access
+    def record_bytes(self, slot: int) -> bytes:
+        self._check_slot(slot)
+        offset, length = self._offsets[slot], self._lengths[slot]
+        return bytes(self._buffer[offset:offset + length])
+
+    def record_view(self, slot: int) -> memoryview:
+        """Zero-copy view of a record's bytes (hot path for field decoding)."""
+        self._check_slot(slot)
+        offset, length = self._offsets[slot], self._lengths[slot]
+        return memoryview(self._buffer)[offset:offset + length]
+
+    def slot_address(self, slot: int) -> int:
+        """Virtual address of the first byte of the record in ``slot``."""
+        self._check_slot(slot)
+        return self.base_address + self._offsets[slot]
+
+    def field_address(self, slot: int, field_offset: int) -> int:
+        """Virtual address of byte ``field_offset`` within the record."""
+        return self.slot_address(slot) + field_offset
+
+    def live_slots(self) -> Iterator[int]:
+        for slot, length in enumerate(self._lengths):
+            if length >= 0:
+                yield slot
+
+    def is_live(self, slot: int) -> bool:
+        return 0 <= slot < len(self._lengths) and self._lengths[slot] >= 0
+
+    # ------------------------------------------------------------ internals
+    def _check_slot(self, slot: int) -> None:
+        if not 0 <= slot < len(self._offsets):
+            raise PageError(f"page {self.page_number}: invalid slot {slot}")
+        if self._lengths[slot] < 0:
+            raise PageError(f"page {self.page_number}: slot {slot} is deleted")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (f"SlottedPage(#{self.page_number}, {self.live_records} records, "
+                f"{self.free_space()} bytes free)")

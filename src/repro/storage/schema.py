@@ -1,0 +1,222 @@
+"""Relational schemas and physical record layouts.
+
+The paper's microbenchmark relation is::
+
+    create table R (a1 integer not null,
+                    a2 integer not null,
+                    a3 integer not null,
+                    <rest of fields>)
+
+where ``<rest of fields>`` is integer padding bringing the record to 100
+bytes (and to other sizes for the record-size sweep of Section 5.2).  This
+module describes such schemas and computes the fixed physical layout (field
+offsets, record size) used by the slotted pages, so the executor knows which
+cache lines a field access touches.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+class ColumnType(Enum):
+    """Supported column types and their physical widths."""
+
+    INT32 = ("i", 4)
+    INT64 = ("q", 8)
+    FLOAT64 = ("d", 8)
+    CHAR = ("s", None)  # fixed-width string; width supplied per column
+
+    def __init__(self, struct_code: str, width: Optional[int]) -> None:
+        self.struct_code = struct_code
+        self.fixed_width = width
+
+
+class SchemaError(ValueError):
+    """Raised on malformed schema definitions or layout mismatches."""
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column of a table schema."""
+
+    name: str
+    type: ColumnType = ColumnType.INT32
+    width: Optional[int] = None
+    nullable: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.isidentifier():
+            raise SchemaError(f"invalid column name {self.name!r}")
+        if self.type is ColumnType.CHAR:
+            if not self.width or self.width <= 0:
+                raise SchemaError(f"CHAR column {self.name!r} needs a positive width")
+        elif self.width is not None and self.width != self.type.fixed_width:
+            raise SchemaError(
+                f"column {self.name!r}: width {self.width} does not match type {self.type.name}")
+
+    @property
+    def byte_width(self) -> int:
+        if self.type is ColumnType.CHAR:
+            assert self.width is not None
+            return self.width
+        assert self.type.fixed_width is not None
+        return self.type.fixed_width
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered collection of columns."""
+
+    columns: Tuple[Column, ...]
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.columns:
+            raise SchemaError("a schema needs at least one column")
+        names = [c.name for c in self.columns]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate column names in schema: {names}")
+
+    @classmethod
+    def of(cls, *columns: Column, name: str = "") -> "Schema":
+        return cls(columns=tuple(columns), name=name)
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __iter__(self):
+        return iter(self.columns)
+
+    def column(self, name: str) -> Column:
+        for col in self.columns:
+            if col.name == name:
+                return col
+        raise SchemaError(f"no column named {name!r} in schema {self.name!r}")
+
+    def index_of(self, name: str) -> int:
+        for i, col in enumerate(self.columns):
+            if col.name == name:
+                return i
+        raise SchemaError(f"no column named {name!r} in schema {self.name!r}")
+
+    def column_names(self) -> Tuple[str, ...]:
+        return tuple(c.name for c in self.columns)
+
+
+@dataclass(frozen=True)
+class RecordLayout:
+    """Physical layout of a fixed-size record for a schema.
+
+    ``record_size`` may be larger than the packed width of the declared
+    columns; the remainder is anonymous filler, which is exactly how the
+    paper's ``<rest of fields>`` padding works.  Field offsets are packed in
+    declaration order with no alignment gaps (integers are 4-byte aligned by
+    construction because every type width here is a multiple of 4).
+    """
+
+    schema: Schema
+    record_size: int
+    offsets: Tuple[int, ...]
+
+    @classmethod
+    def build(cls, schema: Schema, record_size: Optional[int] = None) -> "RecordLayout":
+        offsets: List[int] = []
+        cursor = 0
+        for column in schema:
+            offsets.append(cursor)
+            cursor += column.byte_width
+        packed = cursor
+        size = record_size if record_size is not None else packed
+        if size < packed:
+            raise SchemaError(
+                f"record_size {size} is smaller than the packed column width {packed}")
+        return cls(schema=schema, record_size=size, offsets=tuple(offsets))
+
+    @property
+    def packed_size(self) -> int:
+        last = self.schema.columns[-1]
+        return self.offsets[-1] + last.byte_width
+
+    @property
+    def padding_bytes(self) -> int:
+        return self.record_size - self.packed_size
+
+    def offset_of(self, column_name: str) -> int:
+        return self.offsets[self.schema.index_of(column_name)]
+
+    def field_slice(self, column_name: str) -> Tuple[int, int]:
+        """``(offset, width)`` of a column within the record."""
+        idx = self.schema.index_of(column_name)
+        return self.offsets[idx], self.schema.columns[idx].byte_width
+
+    # ------------------------------------------------------------ encoding
+    def _struct_format(self) -> str:
+        parts = ["<"]
+        for column in self.schema:
+            if column.type is ColumnType.CHAR:
+                parts.append(f"{column.byte_width}s")
+            else:
+                parts.append(column.type.struct_code)
+        return "".join(parts)
+
+    def encode(self, values: Sequence) -> bytes:
+        """Serialise ``values`` (one per column) into ``record_size`` bytes."""
+        if len(values) != len(self.schema):
+            raise SchemaError(
+                f"expected {len(self.schema)} values, got {len(values)}")
+        prepared = []
+        for column, value in zip(self.schema, values):
+            if column.type is ColumnType.CHAR:
+                raw = value.encode() if isinstance(value, str) else bytes(value)
+                prepared.append(raw[:column.byte_width].ljust(column.byte_width, b"\x00"))
+            else:
+                prepared.append(value)
+        packed = struct.pack(self._struct_format(), *prepared)
+        return packed.ljust(self.record_size, b"\x00")
+
+    def decode(self, data: bytes) -> Tuple:
+        """Deserialise a record previously produced by :meth:`encode`."""
+        if len(data) < self.packed_size:
+            raise SchemaError(
+                f"record buffer of {len(data)} bytes is shorter than packed size {self.packed_size}")
+        values = struct.unpack_from(self._struct_format(), data)
+        out = []
+        for column, value in zip(self.schema, values):
+            if column.type is ColumnType.CHAR:
+                out.append(value.rstrip(b"\x00").decode(errors="replace"))
+            else:
+                out.append(value)
+        return tuple(out)
+
+    def decode_column(self, data: bytes, column_name: str):
+        """Decode a single column without materialising the whole record."""
+        idx = self.schema.index_of(column_name)
+        column = self.schema.columns[idx]
+        offset = self.offsets[idx]
+        if column.type is ColumnType.CHAR:
+            raw = data[offset:offset + column.byte_width]
+            return raw.rstrip(b"\x00").decode(errors="replace")
+        return struct.unpack_from("<" + column.type.struct_code, data, offset)[0]
+
+
+def microbenchmark_schema(record_size: int = 100, name: str = "R") -> Tuple[Schema, RecordLayout]:
+    """The paper's relation R/S schema at a given record size.
+
+    Three declared integer attributes ``a1, a2, a3`` followed by anonymous
+    integer filler up to ``record_size`` bytes (the paper varies this between
+    20 and 200 bytes; the default is the 100 bytes used for most results).
+    """
+    if record_size < 12:
+        raise SchemaError("record_size must be at least 12 bytes (three integers)")
+    schema = Schema.of(
+        Column("a1", ColumnType.INT32),
+        Column("a2", ColumnType.INT32),
+        Column("a3", ColumnType.INT32),
+        name=name,
+    )
+    layout = RecordLayout.build(schema, record_size=record_size)
+    return schema, layout

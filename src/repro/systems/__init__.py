@@ -1,0 +1,14 @@
+"""System profiles for the four commercial DBMSs of the study."""
+
+from .profile import (ACCESS_FIELDS_ONLY, ACCESS_FULL_RECORD, BRANCH_KINDS,
+                      BranchSiteSpec, OperationCost, OPERATION_NAMES, ProfileError,
+                      SystemProfile)
+from .vendors import (ALL_SYSTEMS, BASE_COSTS, SYSTEM_A, SYSTEM_B, SYSTEM_C, SYSTEM_D,
+                      all_systems, system_a, system_b, system_c, system_d, system_by_key)
+
+__all__ = [
+    "ACCESS_FIELDS_ONLY", "ACCESS_FULL_RECORD", "BRANCH_KINDS", "BranchSiteSpec",
+    "OperationCost", "OPERATION_NAMES", "ProfileError", "SystemProfile",
+    "ALL_SYSTEMS", "BASE_COSTS", "SYSTEM_A", "SYSTEM_B", "SYSTEM_C", "SYSTEM_D",
+    "all_systems", "system_a", "system_b", "system_c", "system_d", "system_by_key",
+]

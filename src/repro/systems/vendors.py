@@ -1,0 +1,318 @@
+"""The four commercial DBMSs of the study, expressed as system profiles.
+
+The paper withholds the vendors' identities and characterises each system only
+through its measured behaviour.  The profiles below are calibrated to
+regenerate those qualitative observations (Section 5 of the paper; Section 5
+of DESIGN.md lists them as the reproduction targets):
+
+System A
+    Retires the fewest instructions per record on the sequential selection,
+    has the smallest memory-stall and branch-stall shares, but the highest
+    resource-stall share (20--40%), dominated by functional-unit contention on
+    the range selections.  Its optimiser does not use the non-clustered index
+    for the range selection.
+
+System B
+    Exhibits "optimized data access performance at the second cache level":
+    its scan touches only the fields the query references, so it incurs far
+    fewer L2 data misses per record (2% L2 data miss rate on the sequential
+    selection), at the price of a private working set that spills out of the
+    L1 D-cache (kept in L2).  Memory stalls for B are dominated by L1
+    instruction misses.
+
+System C
+    The largest instruction footprint per record: first-level instruction
+    stalls and branch mispredictions dominate its stall time.
+
+System D
+    A heavyweight path for joins and a mid-size footprint elsewhere; shows
+    the clearest coupling between branch-misprediction stalls and L1
+    instruction stalls as selectivity grows (Figure 5.4, right).
+
+The absolute instruction counts are order-of-magnitude estimates for late-90s
+commercial engines (hundreds to a few thousand instructions per record per
+operator); what the reproduction relies on is their *relative* ordering across
+systems and operators, which is taken directly from the paper's figures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from .profile import (ACCESS_FIELDS_ONLY, ACCESS_FULL_RECORD, BRANCH_KIND_ALTERNATING,
+                      BRANCH_KIND_COLD, BRANCH_KIND_DATA, BRANCH_KIND_LOOP,
+                      BRANCH_KIND_RARE, BranchSiteSpec, OperationCost,
+                      OPERATION_NAMES, SystemProfile)
+
+
+def _sites(*specs: Tuple[str, str, int]) -> Tuple[BranchSiteSpec, ...]:
+    return tuple(BranchSiteSpec(name=name, kind=kind, weight=weight)
+                 for name, kind, weight in specs)
+
+
+#: Baseline operation costs for a "generic" commercial executor.  Each system
+#: is derived from this table through per-operation scale factors plus a few
+#: explicit overrides, so the relative shape of the four systems stays easy to
+#: audit in one place.
+BASE_COSTS: Dict[str, OperationCost] = {
+    "query_setup": OperationCost(
+        instructions=40_000, code_bytes=6_144, cold_code_bytes=20_000, data_refs=16_000,
+        workspace_touches=220, dependency_stall_cycles=3_200.0, fu_stall_cycles=1_500.0,
+        branch_sites=_sites(("setup_loop", BRANCH_KIND_LOOP, 6),
+                            ("setup_dispatch", BRANCH_KIND_COLD, 4))),
+    "scan_next": OperationCost(
+        instructions=700, code_bytes=2_048, cold_code_bytes=700, data_refs=280,
+        workspace_touches=6, dependency_stall_cycles=95.0, fu_stall_cycles=42.0,
+        branch_sites=_sites(("scan_loop", BRANCH_KIND_LOOP, 2),
+                            ("scan_slot_check", BRANCH_KIND_RARE, 1),
+                            ("scan_dispatch", BRANCH_KIND_COLD, 1))),
+    "page_boundary": OperationCost(
+        instructions=3_000, code_bytes=2_560, cold_code_bytes=2_200, data_refs=1_250,
+        workspace_touches=32, dependency_stall_cycles=380.0, fu_stall_cycles=160.0,
+        branch_sites=_sites(("page_loop", BRANCH_KIND_LOOP, 2),
+                            ("page_latch", BRANCH_KIND_ALTERNATING, 1),
+                            ("page_dispatch", BRANCH_KIND_COLD, 1))),
+    "predicate": OperationCost(
+        instructions=180, code_bytes=640, cold_code_bytes=96, data_refs=70,
+        workspace_touches=2, dependency_stall_cycles=26.0, fu_stall_cycles=11.0,
+        branch_sites=_sites(("qualify", BRANCH_KIND_DATA, 8),
+                            ("null_check", BRANCH_KIND_RARE, 1))),
+    "agg_update": OperationCost(
+        instructions=260, code_bytes=960, cold_code_bytes=260, data_refs=105,
+        workspace_touches=4, dependency_stall_cycles=40.0, fu_stall_cycles=18.0,
+        branch_sites=_sites(("agg_loop", BRANCH_KIND_LOOP, 1),
+                            ("agg_overflow", BRANCH_KIND_RARE, 1),
+                            ("agg_dispatch", BRANCH_KIND_COLD, 1))),
+    "index_descend_node": OperationCost(
+        instructions=380, code_bytes=1_536, cold_code_bytes=320, data_refs=150,
+        workspace_touches=3, dependency_stall_cycles=52.0, fu_stall_cycles=20.0,
+        branch_sites=_sites(("search_loop", BRANCH_KIND_LOOP, 3),
+                            ("compare", BRANCH_KIND_DATA, 2))),
+    "leaf_advance": OperationCost(
+        instructions=210, code_bytes=896, cold_code_bytes=190, data_refs=82,
+        workspace_touches=2, dependency_stall_cycles=30.0, fu_stall_cycles=12.0,
+        branch_sites=_sites(("leaf_loop", BRANCH_KIND_LOOP, 1),
+                            ("bound_check", BRANCH_KIND_DATA, 1))),
+    "rid_fetch": OperationCost(
+        instructions=900, code_bytes=2_304, cold_code_bytes=900, data_refs=360,
+        workspace_touches=9, dependency_stall_cycles=125.0, fu_stall_cycles=52.0,
+        branch_sites=_sites(("fetch_loop", BRANCH_KIND_LOOP, 1),
+                            ("pin_check", BRANCH_KIND_RARE, 1),
+                            ("fetch_dispatch", BRANCH_KIND_COLD, 1))),
+    "hash_build": OperationCost(
+        instructions=520, code_bytes=1_792, cold_code_bytes=420, data_refs=210,
+        workspace_touches=11, dependency_stall_cycles=72.0, fu_stall_cycles=30.0,
+        branch_sites=_sites(("build_loop", BRANCH_KIND_LOOP, 1),
+                            ("bucket_collision", BRANCH_KIND_ALTERNATING, 1),
+                            ("build_dispatch", BRANCH_KIND_COLD, 1))),
+    "hash_probe": OperationCost(
+        instructions=470, code_bytes=1_664, cold_code_bytes=380, data_refs=190,
+        workspace_touches=9, dependency_stall_cycles=64.0, fu_stall_cycles=27.0,
+        branch_sites=_sites(("probe_loop", BRANCH_KIND_LOOP, 1),
+                            ("probe_match", BRANCH_KIND_DATA, 2),
+                            ("probe_dispatch", BRANCH_KIND_COLD, 1))),
+    "join_output": OperationCost(
+        instructions=310, code_bytes=1_152, cold_code_bytes=280, data_refs=125,
+        workspace_touches=4, dependency_stall_cycles=42.0, fu_stall_cycles=20.0,
+        branch_sites=_sites(("emit_check", BRANCH_KIND_RARE, 1),
+                            ("emit_dispatch", BRANCH_KIND_COLD, 1))),
+    "inner_scan_next": OperationCost(
+        instructions=260, code_bytes=896, cold_code_bytes=130, data_refs=100,
+        workspace_touches=2, dependency_stall_cycles=32.0, fu_stall_cycles=15.0,
+        branch_sites=_sites(("inner_loop", BRANCH_KIND_LOOP, 1),
+                            ("inner_match", BRANCH_KIND_DATA, 1))),
+    "sort_merge_step": OperationCost(
+        instructions=420, code_bytes=1_536, cold_code_bytes=360, data_refs=165,
+        workspace_touches=7, dependency_stall_cycles=58.0, fu_stall_cycles=26.0,
+        branch_sites=_sites(("merge_compare", BRANCH_KIND_DATA, 2),
+                            ("merge_loop", BRANCH_KIND_LOOP, 1))),
+    "update_record": OperationCost(
+        instructions=1_250, code_bytes=2_816, cold_code_bytes=1_100, data_refs=520,
+        workspace_touches=16, dependency_stall_cycles=170.0, fu_stall_cycles=72.0,
+        branch_sites=_sites(("update_loop", BRANCH_KIND_LOOP, 1),
+                            ("lock_check", BRANCH_KIND_ALTERNATING, 1),
+                            ("update_dispatch", BRANCH_KIND_COLD, 1))),
+    "txn_overhead": OperationCost(
+        instructions=8_200, code_bytes=5_120, cold_code_bytes=6_200, data_refs=3_300,
+        workspace_touches=85, dependency_stall_cycles=1_050.0, fu_stall_cycles=470.0,
+        branch_sites=_sites(("txn_loop", BRANCH_KIND_LOOP, 3),
+                            ("txn_latch", BRANCH_KIND_ALTERNATING, 2),
+                            ("txn_dispatch", BRANCH_KIND_COLD, 3))),
+}
+
+
+def _derive_costs(path_factor: float, footprint_factor: float, stall_factor: float,
+                  cold_factor: float,
+                  overrides: Dict[str, OperationCost] | None = None) -> Dict[str, OperationCost]:
+    costs = {name: cost.scaled(path_factor=path_factor, footprint_factor=footprint_factor,
+                               stall_factor=stall_factor, cold_factor=cold_factor)
+             for name, cost in BASE_COSTS.items()}
+    if overrides:
+        costs.update(overrides)
+    return costs
+
+
+def system_a() -> SystemProfile:
+    """System A: lean instruction paths, index-averse optimiser, resource-bound."""
+    costs = _derive_costs(path_factor=0.80, footprint_factor=0.75, stall_factor=1.35,
+                          cold_factor=0.18)
+    # A's range-selection path is dominated by functional-unit contention
+    # rather than dependency stalls (the Figure 5.5 exception).
+    for op in ("scan_next", "predicate", "agg_update", "page_boundary"):
+        base = costs[op]
+        costs[op] = OperationCost(
+            instructions=base.instructions, code_bytes=base.code_bytes,
+            cold_code_bytes=base.cold_code_bytes, data_refs=base.data_refs,
+            workspace_touches=base.workspace_touches,
+            dependency_stall_cycles=base.dependency_stall_cycles * 0.55,
+            fu_stall_cycles=base.fu_stall_cycles * 2.8,
+            branch_sites=base.branch_sites)
+    return SystemProfile(
+        key="A", name="System A",
+        description=("Lean per-record paths and small instruction footprint; does not "
+                     "use the non-clustered index for range selections; highest "
+                     "resource-stall share, dominated by functional-unit contention."),
+        uses_index_for_range_selection=False,
+        index_selectivity_threshold=0.0,
+        join_algorithm="hash",
+        record_access_style=ACCESS_FULL_RECORD,
+        workspace_bytes=10 * 1024,
+        uops_per_instruction=1.45,
+        branch_fraction=0.20,
+        bulk_branch_misprediction_rate=0.012,
+        ild_stall_per_instruction=0.055,
+        cold_code_pool_bytes=48 * 1024,
+        costs=costs,
+    )
+
+
+def system_b() -> SystemProfile:
+    """System B: field-at-a-time data access optimised for the L2 cache."""
+    costs = _derive_costs(path_factor=1.25, footprint_factor=1.00, stall_factor=1.0,
+                          cold_factor=0.95)
+    return SystemProfile(
+        key="B", name="System B",
+        description=("Touches only the referenced fields of each record, so L2 data "
+                     "misses per record are far lower than the other systems (2% L2 "
+                     "data miss rate on the sequential selection); pays for it with a "
+                     "private working set that spills out of the L1 D-cache."),
+        uses_index_for_range_selection=True,
+        index_selectivity_threshold=0.25,
+        join_algorithm="hash",
+        record_access_style=ACCESS_FIELDS_ONLY,
+        workspace_bytes=56 * 1024,
+        uops_per_instruction=1.30,
+        branch_fraction=0.20,
+        bulk_branch_misprediction_rate=0.036,
+        ild_stall_per_instruction=0.030,
+        cold_code_pool_bytes=96 * 1024,
+        costs=costs,
+    )
+
+
+def system_c() -> SystemProfile:
+    """System C: largest instruction footprint; instruction stalls dominate."""
+    costs = _derive_costs(path_factor=1.55, footprint_factor=1.25, stall_factor=1.15,
+                          cold_factor=1.70)
+    return SystemProfile(
+        key="C", name="System C",
+        description=("The heaviest per-record code paths of the four systems: first "
+                     "level instruction cache misses and branch mispredictions are "
+                     "the dominant stall sources."),
+        uses_index_for_range_selection=True,
+        index_selectivity_threshold=0.25,
+        join_algorithm="hash",
+        record_access_style=ACCESS_FULL_RECORD,
+        workspace_bytes=14 * 1024,
+        uops_per_instruction=1.40,
+        branch_fraction=0.21,
+        bulk_branch_misprediction_rate=0.046,
+        ild_stall_per_instruction=0.040,
+        cold_code_pool_bytes=128 * 1024,
+        costs=costs,
+    )
+
+
+def system_d() -> SystemProfile:
+    """System D: mid-size selection paths, heavyweight join machinery."""
+    join_heavy = {
+        "hash_build": BASE_COSTS["hash_build"].scaled(path_factor=2.6, footprint_factor=1.4,
+                                                      stall_factor=1.3, cold_factor=2.3),
+        "hash_probe": BASE_COSTS["hash_probe"].scaled(path_factor=2.6, footprint_factor=1.4,
+                                                      stall_factor=1.3, cold_factor=2.3),
+        "join_output": BASE_COSTS["join_output"].scaled(path_factor=2.2, footprint_factor=1.3,
+                                                        stall_factor=1.2, cold_factor=2.0),
+    }
+    costs = _derive_costs(path_factor=1.35, footprint_factor=1.10, stall_factor=1.05,
+                          cold_factor=1.25, overrides=join_heavy)
+    return SystemProfile(
+        key="D", name="System D",
+        description=("Mid-size selection paths with a heavyweight join pipeline; shows "
+                     "the tight coupling between branch-misprediction stalls and L1 "
+                     "instruction stalls as selectivity increases."),
+        uses_index_for_range_selection=True,
+        index_selectivity_threshold=0.25,
+        join_algorithm="hash",
+        record_access_style=ACCESS_FULL_RECORD,
+        workspace_bytes=18 * 1024,
+        uops_per_instruction=1.38,
+        branch_fraction=0.20,
+        bulk_branch_misprediction_rate=0.040,
+        ild_stall_per_instruction=0.035,
+        cold_code_pool_bytes=112 * 1024,
+        costs=costs,
+    )
+
+
+def all_systems() -> Tuple[SystemProfile, ...]:
+    """The four systems in the paper's A--D order."""
+    return (system_a(), system_b(), system_c(), system_d())
+
+
+def system_by_key(key: str) -> SystemProfile:
+    """Look up a profile by its single-letter key (case-insensitive)."""
+    for profile in all_systems():
+        if profile.key == key.upper():
+            return profile
+    raise KeyError(f"unknown system key {key!r}; expected one of A, B, C, D")
+
+
+#: Convenience constants.
+SYSTEM_A = system_a()
+SYSTEM_B = system_b()
+SYSTEM_C = system_c()
+SYSTEM_D = system_d()
+ALL_SYSTEMS = (SYSTEM_A, SYSTEM_B, SYSTEM_C, SYSTEM_D)
+
+
+def oltp_variant(profile: SystemProfile) -> SystemProfile:
+    """Derive the OLTP-mode behaviour of a system from its DSS profile.
+
+    Section 5.5 observes that TPC-C behaves very differently from the
+    microbenchmark and TPC-D: CPI between 2.5 and 4.5, 60--80% of execution
+    time in memory stalls, and second-level cache (data *and* instruction)
+    misses dominating.  The cause is well understood -- transaction
+    processing exercises a much larger code base (transaction management,
+    locking, logging, constraint maintenance) and a much larger, randomly
+    accessed data working set (lock tables, log buffers, many relations) than
+    a single-query DSS executor -- and is expressed here the same way:
+
+    * the low-locality code pool grows well past the 512 KB L2 so a good part
+      of the instruction stream misses both cache levels, and
+    * the private working set grows to several megabytes so the per-statement
+      scratch accesses routinely miss the L2 as well.
+
+    Everything else (path lengths, planner policy, branch behaviour) is
+    inherited from the base profile, so the four systems remain
+    distinguishable under OLTP exactly as they are under DSS.
+    """
+    oltp_costs = {name: cost.scaled(path_factor=1.0, footprint_factor=1.0,
+                                    stall_factor=2.5, cold_factor=1.0)
+                  for name, cost in profile.costs.items()}
+    return profile.with_overrides(
+        name=f"{profile.name} (OLTP)",
+        cold_code_pool_bytes=1_536 * 1024,
+        workspace_bytes=4 * 1024 * 1024,
+        workspace_touch_stride=192,
+        costs=oltp_costs,
+    )

@@ -1,0 +1,17 @@
+"""Workloads: the microbenchmark, parameter sweeps, and DSS/OLTP suites."""
+
+from .micro import (DEFAULT_SCALE, JOIN_FANOUT, MicroWorkload, MicroWorkloadConfig,
+                    PAPER_A2_DOMAIN, PAPER_R_ROWS, PAPER_S_ROWS)
+from .sweeps import (RECORD_SIZE_POINTS, SELECTIVITY_POINTS, SweepPoint,
+                     build_database_for_point, record_size_sweep, selectivity_sweep)
+from .tpcc import TPCCConfig, TPCCWorkload, Transaction
+from .tpcd import TPCDConfig, TPCDWorkload
+
+__all__ = [
+    "DEFAULT_SCALE", "JOIN_FANOUT", "MicroWorkload", "MicroWorkloadConfig",
+    "PAPER_A2_DOMAIN", "PAPER_R_ROWS", "PAPER_S_ROWS",
+    "RECORD_SIZE_POINTS", "SELECTIVITY_POINTS", "SweepPoint",
+    "build_database_for_point", "record_size_sweep", "selectivity_sweep",
+    "TPCCConfig", "TPCCWorkload", "Transaction",
+    "TPCDConfig", "TPCDWorkload",
+]

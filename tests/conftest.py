@@ -1,0 +1,58 @@
+"""Shared fixtures: small-scale datasets that keep the suite fast.
+
+The unit and integration tests run the same code paths as the paper-scale
+benchmarks but on heavily scaled-down datasets (a few hundred rows).  Cache
+*behaviour* at that scale is not representative -- the benchmarks under
+``benchmarks/`` are responsible for the quantitative claims -- so the tests
+concentrate on functional correctness, invariants and the plumbing of the
+measurement framework.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import Database, Session
+from repro.hardware import OSInterferenceConfig, SimulatedProcessor
+from repro.storage import Catalog
+from repro.systems import ALL_SYSTEMS, SYSTEM_A, SYSTEM_B, SYSTEM_C, SYSTEM_D
+from repro.workloads import MicroWorkload, MicroWorkloadConfig
+
+#: Scale used by tests: ~600-row R, ~20-row S.
+TEST_SCALE = 1.0 / 2000.0
+
+
+@pytest.fixture(scope="session")
+def micro_workload() -> MicroWorkload:
+    return MicroWorkload(MicroWorkloadConfig(scale=TEST_SCALE, minimum_r_rows=600))
+
+
+@pytest.fixture(scope="session")
+def micro_database(micro_workload) -> Database:
+    database = micro_workload.build()
+    micro_workload.create_selection_index(database)
+    return database
+
+
+@pytest.fixture
+def processor() -> SimulatedProcessor:
+    return SimulatedProcessor()
+
+
+@pytest.fixture
+def catalog() -> Catalog:
+    return Catalog()
+
+
+@pytest.fixture(params=[profile.key for profile in ALL_SYSTEMS])
+def system_profile(request):
+    """Parametrised over the four commercial-system profiles."""
+    from repro.systems import system_by_key
+    return system_by_key(request.param)
+
+
+@pytest.fixture
+def session_b(micro_database) -> Session:
+    """A measurement session for System B on the shared tiny dataset."""
+    return Session(micro_database, SYSTEM_B,
+                   os_interference=OSInterferenceConfig(interval_instructions=50_000))

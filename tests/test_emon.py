@@ -1,0 +1,118 @@
+"""Tests for the emon-style measurement methodology."""
+
+import pytest
+
+from repro.emon import Emon, EmonError, EventSpec, default_event_list
+from repro.engine import Session
+from repro.hardware import EventCounters
+from repro.systems import SYSTEM_B
+
+
+class TestEventSpec:
+    def test_parse_with_and_without_mode(self):
+        assert EventSpec.parse("INST_RETIRED:USER").mode == "USER"
+        assert EventSpec.parse("INST_RETIRED:SUP").mode == "SUP"
+        assert EventSpec.parse("inst_retired").event == "INST_RETIRED"
+        assert str(EventSpec.parse("INST_RETIRED")) == "INST_RETIRED:USER"
+
+    def test_parse_rejects_unknown_event_and_mode(self):
+        with pytest.raises(EmonError):
+            EventSpec.parse("NOT_AN_EVENT:USER")
+        with pytest.raises(EmonError):
+            EventSpec.parse("INST_RETIRED:RING3")
+        with pytest.raises(EmonError):
+            EventSpec.parse("INST_RETIRED:USER:EXTRA")
+
+    def test_read_selects_the_right_bank(self):
+        counters = EventCounters.from_dict({"INST_RETIRED": 10}, {"INST_RETIRED": 3})
+        assert EventSpec.parse("INST_RETIRED:USER").read(counters) == 10
+        assert EventSpec.parse("INST_RETIRED:SUP").read(counters) == 3
+
+
+class FakeUnit:
+    """Deterministic-with-noise unit runner for methodology tests."""
+
+    def __init__(self, noise=0):
+        self.calls = 0
+        self.noise = noise
+
+    def __call__(self) -> EventCounters:
+        self.calls += 1
+        wiggle = (self.calls % 3) * self.noise
+        return EventCounters.from_dict({
+            "INST_RETIRED": 1_000 + wiggle,
+            "CPU_CLK_UNHALTED": 1_500 + wiggle,
+            "BR_INST_RETIRED": 200,
+        })
+
+
+class TestEmon:
+    def test_measure_pair_reads_both_events_from_same_runs(self):
+        unit = FakeUnit()
+        emon = Emon(unit, repetitions=3)
+        results = emon.measure_pair("INST_RETIRED:USER", "CPU_CLK_UNHALTED:USER")
+        assert unit.calls == 3
+        assert results["INST_RETIRED:USER"].mean == pytest.approx(1_000)
+        assert results["CPU_CLK_UNHALTED:USER"].mean == pytest.approx(1_500)
+        assert len(results["INST_RETIRED:USER"].samples) == 3
+
+    def test_more_than_two_counters_rejected(self):
+        emon = Emon(FakeUnit())
+        # collect() is the sanctioned way to walk longer lists; measure_pair
+        # itself never accepts more than the two hardware counters.
+        with pytest.raises(TypeError):
+            emon.measure_pair("INST_RETIRED", "CPU_CLK_UNHALTED", "BR_INST_RETIRED")
+
+    def test_collect_walks_events_pairwise(self):
+        unit = FakeUnit()
+        emon = Emon(unit, repetitions=2)
+        results = emon.collect(["INST_RETIRED:USER", "CPU_CLK_UNHALTED:USER",
+                                "BR_INST_RETIRED:USER"])
+        assert set(results) == {"INST_RETIRED:USER", "CPU_CLK_UNHALTED:USER",
+                                "BR_INST_RETIRED:USER"}
+        # Two pairs (2+1 events) at two repetitions each -> four unit runs.
+        assert unit.calls == 4
+
+    def test_confidence_check_flags_noisy_events(self):
+        emon = Emon(FakeUnit(noise=400), repetitions=3, max_relative_std_dev=0.05)
+        results = emon.measure_pair("INST_RETIRED:USER", "BR_INST_RETIRED:USER")
+        noisy = emon.check_confidence(results)
+        assert "INST_RETIRED:USER" in noisy
+        assert "BR_INST_RETIRED:USER" not in noisy
+
+    def test_zero_repetitions_rejected(self):
+        with pytest.raises(EmonError):
+            Emon(FakeUnit(), repetitions=0)
+
+    def test_default_event_list_is_parseable(self):
+        events = default_event_list()
+        assert len(events) >= 20
+        for event in events:
+            EventSpec.parse(event)
+
+    def test_means_helper(self):
+        emon = Emon(FakeUnit(), repetitions=2)
+        results = emon.measure_pair("INST_RETIRED:USER")
+        assert Emon.means(results)["INST_RETIRED:USER"] == pytest.approx(1_000)
+
+
+class TestEmonAgainstSimulator:
+    def test_multiplexed_measurement_matches_direct_counters(self, micro_workload,
+                                                              micro_database):
+        """The paper's pairwise methodology must agree with full observation."""
+        query = micro_workload.sequential_range_selection(0.10)
+
+        def unit() -> EventCounters:
+            session = Session(micro_database, SYSTEM_B, os_interference=None)
+            return session.execute(query, warmup_runs=0).counters
+
+        direct = unit()
+        emon = Emon(unit, repetitions=2)
+        results = emon.collect(["INST_RETIRED:USER", "BR_INST_RETIRED:USER",
+                                "DATA_MEM_REFS:USER"])
+        # The workload is deterministic, so the multiplexed means match the
+        # directly observed counts exactly and the std-dev is zero.
+        assert results["INST_RETIRED:USER"].mean == direct.get("INST_RETIRED")
+        assert results["BR_INST_RETIRED:USER"].mean == direct.get("BR_INST_RETIRED")
+        assert results["DATA_MEM_REFS:USER"].mean == direct.get("DATA_MEM_REFS")
+        assert emon.check_confidence(results) == []

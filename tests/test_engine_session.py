@@ -1,0 +1,107 @@
+"""Tests for the Database facade and measurement Session."""
+
+import pytest
+
+from repro.engine import Database, Session
+from repro.hardware import OSInterferenceConfig, larger_l2_xeon
+from repro.storage.schema import ColumnType
+from repro.systems import SYSTEM_A, SYSTEM_B
+from repro.query import UpdateQuery, avg, count_star, range_predicate, SelectionQuery
+
+
+class TestDatabase:
+    def test_create_load_and_summary(self):
+        db = Database()
+        db.create_table("t", [("k", ColumnType.INT32), ("v", ColumnType.INT32)],
+                        record_size=64)
+        loaded = db.load("t", ((i, i * i) for i in range(100)))
+        assert loaded == 100
+        assert db.row_count("t") == 100
+        summary = db.summary()["t"]
+        assert summary["rows"] == 100
+        assert summary["record_size"] == 64
+        assert db.resident_bytes() == 100 * 64
+
+    def test_create_index_through_facade(self):
+        db = Database()
+        db.create_table("t", [("k", ColumnType.INT32)], record_size=32)
+        db.load("t", ((i,) for i in range(10)))
+        index = db.create_index("t", "k", unique=True)
+        assert len(index) == 10
+        db.drop_index("t", "k")
+        assert db.table("t").index_on("k") is None
+
+
+class TestSession:
+    def test_query_result_scalar_matches_ground_truth(self, micro_workload, micro_database):
+        session = Session(micro_database, SYSTEM_B)
+        result = session.execute(micro_workload.sequential_range_selection(0.10))
+        assert result.scalar == pytest.approx(micro_workload.expected_average(0.10))
+        assert result.system == "B"
+        assert result.counters.get("CPU_CLK_UNHALTED") > 0
+        assert result.metrics.cpi > 0
+
+    def test_plan_and_explain_follow_the_profile(self, micro_workload, micro_database):
+        query = micro_workload.indexed_range_selection(0.10)
+        assert "IndexRangeScan" in Session(micro_database, SYSTEM_B).explain(query)
+        assert "SeqScan" in Session(micro_database, SYSTEM_A).explain(query)
+
+    def test_warmup_runs_are_not_measured(self, micro_workload, micro_database):
+        session = Session(micro_database, SYSTEM_B)
+        query = micro_workload.sequential_range_selection(0.10)
+        cold = session.execute(query, warmup_runs=0)
+        warm = Session(micro_database, SYSTEM_B).execute(query, warmup_runs=2)
+        # Instructions retired per measured unit are identical; only cache
+        # behaviour changes with warm-up.
+        assert warm.counters.get("INST_RETIRED") == cold.counters.get("INST_RETIRED")
+        assert warm.counters.get("L2_DATA_MISS") <= cold.counters.get("L2_DATA_MISS")
+
+    def test_unit_of_n_queries_scales_work(self, micro_workload, micro_database):
+        query = micro_workload.sequential_range_selection(0.10)
+        one = Session(micro_database, SYSTEM_B).execute(query, warmup_runs=0,
+                                                        queries_per_unit=1)
+        three = Session(micro_database, SYSTEM_B).execute(query, warmup_runs=0,
+                                                          queries_per_unit=3)
+        assert three.queries_in_unit == 3
+        ratio = three.counters.get("INST_RETIRED") / one.counters.get("INST_RETIRED")
+        assert ratio == pytest.approx(3.0, rel=0.01)
+
+    def test_execute_suite_covers_all_queries(self, micro_workload, micro_database):
+        queries = [micro_workload.sequential_range_selection(s) for s in (0.05, 0.10)]
+        result = Session(micro_database, SYSTEM_B).execute_suite(queries, label="mini-suite")
+        assert result.queries_in_unit == 2
+        assert result.label == "mini-suite"
+        assert result.breakdown.total_cycles > 0
+
+    def test_update_query_through_session(self, micro_workload, micro_database):
+        session = Session(micro_database, SYSTEM_B)
+        result = session.execute(UpdateQuery(table="R", key_column="a2", key_value=1,
+                                             set_column="a3", set_value=123))
+        assert result.rows[0]["updated"] >= 1
+
+    def test_execute_transaction_and_measure(self, micro_workload, micro_database):
+        session = Session(micro_database, SYSTEM_B)
+        statements = (
+            SelectionQuery(table="R", aggregates=(count_star(),),
+                           predicate=range_predicate("a2", 0, 3), prefer_index_on="a2"),
+            UpdateQuery(table="R", key_column="a2", key_value=2,
+                        set_column="a3", set_value=5),
+        )
+        session.execute_transaction(statements)
+        counters, breakdown, metrics = session.measure()
+        txn_instructions = SYSTEM_B.cost("txn_overhead").instructions
+        assert counters.get("INST_RETIRED") >= txn_instructions
+        assert breakdown.total_cycles > 0
+        session.reset_measurement()
+        assert session.processor.counters.get("INST_RETIRED") == 0
+
+    def test_alternative_platform_spec(self, micro_workload, micro_database):
+        spec = larger_l2_xeon(2048)
+        session = Session(micro_database, SYSTEM_B, spec=spec)
+        result = session.execute(micro_workload.sequential_range_selection(0.10))
+        assert result.breakdown.total_cycles > 0
+
+    def test_os_interference_can_be_disabled(self, micro_workload, micro_database):
+        session = Session(micro_database, SYSTEM_B, os_interference=None)
+        result = session.execute(micro_workload.sequential_range_selection(0.10))
+        assert result.counters.get("OS_INTERRUPTS", "SUP") == 0

@@ -1,0 +1,184 @@
+"""Tests for the set-associative cache model and the split-L1/unified-L2 hierarchy."""
+
+import pytest
+
+from repro.hardware.cache import (Cache, CacheHierarchy, PORT_DATA_READ, PORT_DATA_WRITE,
+                                  PORT_INSTRUCTION)
+from repro.hardware.specs import CacheSpec, PENTIUM_II_XEON
+
+
+def small_cache(size=1024, line=32, ways=2, write_back=True, next_level=None) -> Cache:
+    spec = CacheSpec(name="toy", size_bytes=size, line_bytes=line, associativity=ways,
+                     write_back=write_back)
+    return Cache(spec, next_level=next_level)
+
+
+class TestCacheBasics:
+    def test_cold_miss_then_hit(self):
+        cache = small_cache()
+        assert cache.access(0x1000, PORT_DATA_READ) == 1
+        assert cache.access(0x1000, PORT_DATA_READ) == 0
+        assert cache.stats.misses[PORT_DATA_READ] == 1
+        assert cache.stats.accesses[PORT_DATA_READ] == 2
+
+    def test_same_line_different_bytes_is_one_miss(self):
+        cache = small_cache()
+        assert cache.access(0x1000, PORT_DATA_READ) == 1
+        assert cache.access(0x101F, PORT_DATA_READ) == 0
+
+    def test_access_spanning_two_lines_counts_two(self):
+        cache = small_cache()
+        misses = cache.access(0x101E, PORT_DATA_READ, size=8)
+        assert misses == 2
+
+    def test_line_address_alignment(self):
+        cache = small_cache()
+        assert cache.line_address(0x1234) == 0x1220
+
+    def test_lines_spanned(self):
+        cache = small_cache()
+        assert list(cache.lines_spanned(0, 32)) == [0]
+        assert list(cache.lines_spanned(0, 33)) == [0, 1]
+        assert list(cache.lines_spanned(31, 2)) == [0, 1]
+
+
+class TestLRUReplacement:
+    def test_lru_victim_is_evicted(self):
+        # 2-way, 32B lines, 1KB -> 16 sets.  Addresses that share set 0:
+        cache = small_cache(size=1024, ways=2)
+        set_stride = 16 * 32  # addresses this far apart map to the same set
+        a, b, c = 0, set_stride, 2 * set_stride
+        cache.access(a, PORT_DATA_READ)
+        cache.access(b, PORT_DATA_READ)
+        cache.access(a, PORT_DATA_READ)      # a becomes MRU
+        cache.access(c, PORT_DATA_READ)      # evicts b (LRU)
+        assert cache.contains(a)
+        assert cache.contains(c)
+        assert not cache.contains(b)
+
+    def test_working_set_within_capacity_stops_missing(self):
+        cache = small_cache(size=1024, ways=2)
+        addresses = [i * 32 for i in range(16)]   # 512 B working set
+        for addr in addresses:
+            cache.access(addr, PORT_DATA_READ)
+        before = cache.stats.total_misses
+        for _ in range(3):
+            for addr in addresses:
+                cache.access(addr, PORT_DATA_READ)
+        assert cache.stats.total_misses == before
+
+    def test_cyclic_sweep_larger_than_cache_always_misses(self):
+        cache = small_cache(size=1024, ways=2)
+        addresses = [i * 32 for i in range(64)]   # 2 KB > 1 KB capacity
+        for addr in addresses:
+            cache.access(addr, PORT_DATA_READ)
+        before = cache.stats.total_misses
+        for addr in addresses:
+            cache.access(addr, PORT_DATA_READ)
+        assert cache.stats.total_misses - before == len(addresses)
+
+    def test_resident_lines_never_exceeds_capacity(self):
+        cache = small_cache(size=1024, ways=2)
+        for i in range(200):
+            cache.access(i * 32, PORT_DATA_READ)
+        assert cache.resident_lines() <= cache.spec.num_lines
+
+
+class TestWriteBehaviour:
+    def test_writeback_on_dirty_eviction(self):
+        l2 = small_cache(size=4096, ways=4)
+        l1 = small_cache(size=1024, ways=2, next_level=l2)
+        set_stride = 16 * 32
+        l1.access(0, PORT_DATA_WRITE, write=True)
+        l1.access(set_stride, PORT_DATA_READ)
+        l1.access(2 * set_stride, PORT_DATA_READ)   # evicts the dirty line
+        assert l1.stats.writebacks == 1
+
+    def test_write_through_forwards_to_next_level(self):
+        l2 = small_cache(size=4096, ways=4)
+        l1 = small_cache(size=1024, ways=2, write_back=False, next_level=l2)
+        l1.access(0, PORT_DATA_WRITE, write=True)
+        assert l2.stats.accesses[PORT_DATA_WRITE] >= 1
+
+    def test_clean_eviction_does_not_write_back(self):
+        cache = small_cache(size=1024, ways=2)
+        set_stride = 16 * 32
+        for i in range(3):
+            cache.access(i * set_stride, PORT_DATA_READ)
+        assert cache.stats.writebacks == 0
+
+
+class TestInvalidation:
+    def test_invalidate_all(self):
+        cache = small_cache()
+        for i in range(8):
+            cache.access(i * 32, PORT_DATA_READ)
+        dropped = cache.invalidate_all()
+        assert dropped == 8
+        assert cache.resident_lines() == 0
+
+    def test_invalidate_fraction_drops_roughly_that_share(self):
+        cache = small_cache(size=4096, ways=4)
+        for i in range(128):
+            cache.access(i * 32, PORT_DATA_READ)
+        resident = cache.resident_lines()
+        dropped = cache.invalidate_fraction(0.5)
+        assert 0 < dropped <= resident
+        assert cache.resident_lines() == resident - dropped
+
+    def test_invalidate_fraction_zero_is_noop(self):
+        cache = small_cache()
+        cache.access(0, PORT_DATA_READ)
+        assert cache.invalidate_fraction(0.0) == 0
+        assert cache.contains(0)
+
+
+class TestWarmup:
+    def test_warm_does_not_change_statistics(self):
+        cache = small_cache()
+        cache.warm([i * 32 for i in range(8)])
+        assert cache.stats.total_accesses == 0
+        assert cache.stats.total_misses == 0
+        # ... but the lines are resident:
+        assert cache.access(0, PORT_DATA_READ) == 0
+
+
+class TestHierarchy:
+    def make_hierarchy(self) -> CacheHierarchy:
+        return CacheHierarchy(PENTIUM_II_XEON.l1d, PENTIUM_II_XEON.l1i, PENTIUM_II_XEON.l2)
+
+    def test_l1_miss_propagates_to_l2(self):
+        hierarchy = self.make_hierarchy()
+        hierarchy.read(0x10000)
+        assert hierarchy.l1d.stats.total_misses == 1
+        assert hierarchy.l2.stats.total_misses == 1
+        hierarchy.read(0x10000)
+        assert hierarchy.l2.stats.total_accesses == 1  # second access hits L1
+
+    def test_instruction_and_data_ports_kept_separate_in_l2(self):
+        hierarchy = self.make_hierarchy()
+        hierarchy.fetch(0x2000)
+        hierarchy.read(0x90000)
+        snapshot = hierarchy.snapshot()
+        assert snapshot.l2_instruction_misses == 1
+        assert snapshot.l2_data_misses == 1
+
+    def test_l1d_eviction_data_still_in_l2(self):
+        hierarchy = self.make_hierarchy()
+        # Stream 32 KB through the 16 KB L1D; early lines remain in the 512 KB L2.
+        for i in range(1024):
+            hierarchy.read(i * 32)
+        l2_misses_before = hierarchy.l2.stats.total_misses
+        hierarchy.read(0)           # misses L1D again but hits L2
+        assert hierarchy.l1d.stats.total_misses == 1025
+        assert hierarchy.l2.stats.total_misses == l2_misses_before
+
+    def test_snapshot_and_reset(self):
+        hierarchy = self.make_hierarchy()
+        hierarchy.read(0)
+        hierarchy.fetch(64)
+        snap = hierarchy.snapshot()
+        assert snap.l1d_misses == 1
+        assert snap.l1i_misses == 1
+        hierarchy.reset_stats()
+        assert hierarchy.snapshot().l1d_misses == 0

@@ -1,0 +1,105 @@
+"""Tests for the platform specifications (Table 4.1)."""
+
+import pytest
+
+from repro.hardware.specs import (BranchSpec, CacheSpec, MemorySpec, PENTIUM_II_XEON,
+                                  PipelineSpec, TLBSpec, larger_btb_xeon, larger_l2_xeon,
+                                  pentium_ii_xeon)
+
+
+class TestCacheSpec:
+    def test_pentium_l1d_geometry(self):
+        l1d = PENTIUM_II_XEON.l1d
+        assert l1d.size_bytes == 16 * 1024
+        assert l1d.line_bytes == 32
+        assert l1d.associativity == 4
+        assert l1d.num_lines == 512
+        assert l1d.num_sets == 128
+
+    def test_pentium_l2_geometry(self):
+        l2 = PENTIUM_II_XEON.l2
+        assert l2.size_bytes == 512 * 1024
+        assert l2.num_sets == 4096
+        assert l2.misses_outstanding == 4
+
+    def test_l1_miss_penalty_matches_table_4_1(self):
+        assert PENTIUM_II_XEON.l1d.miss_penalty_cycles == 4
+        assert PENTIUM_II_XEON.l1i.miss_penalty_cycles == 4
+
+    def test_invalid_line_size_rejected(self):
+        with pytest.raises(ValueError):
+            CacheSpec(name="bad", size_bytes=16 * 1024, line_bytes=30)
+
+    def test_non_power_of_two_sets_rejected(self):
+        with pytest.raises(ValueError):
+            CacheSpec(name="bad", size_bytes=3 * 1024, line_bytes=32, associativity=4)
+
+    def test_size_not_divisible_rejected(self):
+        with pytest.raises(ValueError):
+            CacheSpec(name="bad", size_bytes=1000, line_bytes=32, associativity=4)
+
+
+class TestTLBAndBranchSpecs:
+    def test_itlb_miss_penalty_is_32_cycles(self):
+        assert PENTIUM_II_XEON.itlb.miss_penalty_cycles == 32
+
+    def test_tlb_requires_positive_entries(self):
+        with pytest.raises(ValueError):
+            TLBSpec(name="bad", entries=0)
+
+    def test_branch_misprediction_penalty_is_17_cycles(self):
+        assert PENTIUM_II_XEON.branch.misprediction_penalty_cycles == 17
+
+    def test_btb_geometry(self):
+        branch = PENTIUM_II_XEON.branch
+        assert branch.btb_entries == 512
+        assert branch.btb_sets * branch.btb_associativity == branch.btb_entries
+
+    def test_btb_entries_must_divide(self):
+        with pytest.raises(ValueError):
+            BranchSpec(btb_entries=510, btb_associativity=4)
+
+
+class TestMemoryAndPipelineSpecs:
+    def test_memory_latency_in_measured_range(self):
+        assert 60 <= PENTIUM_II_XEON.memory.latency_cycles <= 70
+
+    def test_memory_rejects_non_positive_latency(self):
+        with pytest.raises(ValueError):
+            MemorySpec(latency_cycles=0)
+
+    def test_retire_width_is_three_uops(self):
+        assert PENTIUM_II_XEON.pipeline.retire_width_uops == 3
+
+    def test_pipeline_rejects_sub_unit_uop_expansion(self):
+        with pytest.raises(ValueError):
+            PipelineSpec(uops_per_instruction=0.9)
+
+
+class TestProcessorSpec:
+    def test_xeon_does_not_enforce_inclusion(self):
+        assert PENTIUM_II_XEON.inclusive_l2 is False
+
+    def test_table_4_1_rendering_contains_key_facts(self):
+        table = PENTIUM_II_XEON.table_4_1()
+        assert table["L1 (split)"]["Cache size"] == "16KB Data / 16KB Instruction"
+        assert table["L2"]["Cache size"] == "512KB"
+        assert table["L1 (split)"]["Associativity"] == "4-way"
+        assert table["L2"]["Write Policy"] == "Write-back"
+
+    def test_factory_returns_equal_specs(self):
+        assert pentium_ii_xeon() == PENTIUM_II_XEON
+
+    def test_larger_l2_variant(self):
+        spec = larger_l2_xeon(2048)
+        assert spec.l2.size_bytes == 2 * 1024 * 1024
+        assert spec.l1d == PENTIUM_II_XEON.l1d
+
+    def test_larger_btb_variant(self):
+        spec = larger_btb_xeon(16384)
+        assert spec.branch.btb_entries == 16384
+
+    def test_with_overrides_replaces_only_requested_field(self):
+        spec = PENTIUM_II_XEON.with_overrides(clock_mhz=450)
+        assert spec.clock_mhz == 450
+        assert spec.l2 == PENTIUM_II_XEON.l2

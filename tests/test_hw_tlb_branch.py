@@ -1,0 +1,126 @@
+"""Tests for the TLB models and the BTB-based branch predictor."""
+
+import pytest
+
+from repro.hardware.branch import BranchPredictor
+from repro.hardware.specs import BranchSpec, TLBSpec
+from repro.hardware.tlb import TLB
+
+
+class TestTLB:
+    def make(self, entries=4) -> TLB:
+        return TLB(TLBSpec(name="toy", entries=entries, page_bytes=4096))
+
+    def test_miss_then_hit_within_page(self):
+        tlb = self.make()
+        assert tlb.access(0x1000) == 1
+        assert tlb.access(0x1FFF) == 0
+        assert tlb.access(0x2000) == 1
+
+    def test_lru_eviction(self):
+        tlb = self.make(entries=2)
+        tlb.access(0x0000)
+        tlb.access(0x1000)
+        tlb.access(0x0000)          # page 0 becomes MRU
+        tlb.access(0x2000)          # evicts page 1
+        assert tlb.access(0x0000) == 0
+        assert tlb.access(0x1000) == 1
+
+    def test_capacity_is_respected(self):
+        tlb = self.make(entries=4)
+        for page in range(10):
+            tlb.access(page * 4096)
+        assert tlb.resident_pages() <= 4
+
+    def test_flush(self):
+        tlb = self.make()
+        tlb.access(0)
+        assert tlb.flush() == 1
+        assert tlb.access(0) == 1
+
+    def test_miss_rate(self):
+        tlb = self.make()
+        tlb.access(0)
+        tlb.access(0)
+        assert tlb.stats.miss_rate == pytest.approx(0.5)
+
+    def test_stats_reset(self):
+        tlb = self.make()
+        tlb.access(0)
+        tlb.reset_stats()
+        assert tlb.stats.accesses == 0
+
+
+class TestBranchPredictor:
+    def make(self, **kwargs) -> BranchPredictor:
+        return BranchPredictor(BranchSpec(**kwargs))
+
+    def test_repeated_taken_branch_becomes_predicted(self):
+        predictor = self.make()
+        site = 0x4000
+        for _ in range(8):
+            predictor.execute(site, taken=True)
+        assert predictor.execute(site, taken=True) is False  # correctly predicted
+
+    def test_loop_exit_mispredicts_once(self):
+        predictor = self.make()
+        site = 0x4000
+        for _ in range(20):
+            predictor.execute(site, taken=True)
+        assert predictor.execute(site, taken=False) is True
+
+    def test_alternating_pattern_learned_by_two_level_history(self):
+        """A strictly alternating branch is predictable with history bits."""
+        predictor = self.make(history_bits=4)
+        site = 0x8000
+        outcomes = [bool(i % 2) for i in range(400)]
+        mispredictions = sum(predictor.execute(site, taken) for taken in outcomes)
+        # After warm-up the pattern table locks onto the alternation.
+        late = sum(predictor.execute(site, bool(i % 2)) for i in range(400, 440))
+        assert late <= 2
+
+    def test_static_prediction_on_btb_miss_backward_taken(self):
+        predictor = self.make()
+        # A backward branch never seen before: static prediction says taken.
+        assert predictor.execute(0xAAAA, taken=True, backward=True) is False
+        # A forward branch never seen before: static prediction says not taken.
+        predictor2 = self.make()
+        assert predictor2.execute(0xBBBB, taken=False, backward=False) is False
+        assert predictor2.stats.btb_misses == 1
+
+    def test_not_taken_branches_do_not_populate_btb(self):
+        predictor = self.make()
+        site = 0xC000
+        predictor.execute(site, taken=False)
+        predictor.execute(site, taken=False)
+        assert predictor.stats.btb_misses == 2
+
+    def test_btb_capacity_causes_misses(self):
+        predictor = self.make(btb_entries=16, btb_associativity=4)
+        # 64 distinct taken branch sites cycle through a 16-entry BTB.
+        sites = [0x1000 + i * 64 for i in range(64)]
+        for _ in range(3):
+            for site in sites:
+                predictor.execute(site, taken=True)
+        assert predictor.stats.btb_miss_rate > 0.5
+        assert predictor.resident_entries() <= 16
+
+    def test_statistics_accumulate(self):
+        predictor = self.make()
+        predictor.execute(0x100, True)
+        predictor.execute(0x100, True)
+        predictor.execute(0x100, False)
+        stats = predictor.stats
+        assert stats.branches == 3
+        assert stats.taken == 2
+        assert 0.0 <= stats.misprediction_rate <= 1.0
+
+    def test_flush_clears_state(self):
+        predictor = self.make()
+        for _ in range(4):
+            predictor.execute(0x100, True)
+        predictor.flush()
+        assert predictor.resident_entries() == 0
+        assert predictor.stats.branches == 4  # stats survive a flush
+        predictor.reset_stats()
+        assert predictor.stats.branches == 0

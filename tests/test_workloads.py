@@ -1,0 +1,173 @@
+"""Tests for the microbenchmark, sweeps, TPC-D-style and TPC-C-style workloads."""
+
+import pytest
+
+from repro.engine import Session
+from repro.query.plans import JoinQuery, SelectionQuery, UpdateQuery
+from repro.systems import SYSTEM_B
+from repro.systems.vendors import oltp_variant
+from repro.workloads import (JOIN_FANOUT, MicroWorkload, MicroWorkloadConfig,
+                             PAPER_R_ROWS, PAPER_S_ROWS, RECORD_SIZE_POINTS,
+                             SELECTIVITY_POINTS, TPCCConfig, TPCCWorkload, TPCDConfig,
+                             TPCDWorkload, build_database_for_point, record_size_sweep,
+                             selectivity_sweep)
+
+
+class TestMicroWorkloadConfig:
+    def test_paper_scale_matches_published_sizes(self):
+        config = MicroWorkloadConfig(scale=1.0)
+        assert config.r_rows == PAPER_R_ROWS == 1_200_000
+        assert config.s_rows == PAPER_S_ROWS == 40_000
+        assert config.a2_domain == 40_000
+        assert config.r_bytes == 120_000_000
+
+    def test_join_fanout_preserved_at_any_scale(self):
+        for scale in (1.0, 0.1, 0.01, 1 / 200):
+            config = MicroWorkloadConfig(scale=scale)
+            assert config.r_rows // config.s_rows == JOIN_FANOUT
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            MicroWorkloadConfig(scale=0)
+        with pytest.raises(ValueError):
+            MicroWorkloadConfig(record_size=8)
+        with pytest.raises(ValueError):
+            MicroWorkloadConfig(selectivity=1.5)
+
+
+class TestMicroWorkloadData:
+    def test_build_creates_r_and_s(self, micro_workload, micro_database):
+        config = micro_workload.config
+        assert micro_database.row_count("R") == config.r_rows
+        assert micro_database.row_count("S") == config.s_rows
+        assert micro_database.table("R").layout.record_size == config.record_size
+
+    def test_a2_values_lie_in_domain(self, micro_workload):
+        domain = micro_workload.config.a2_domain
+        assert all(1 <= a2 <= domain for _, a2, _ in micro_workload.generate_r_rows())
+
+    def test_s_primary_key_is_dense(self, micro_workload):
+        keys = [a1 for a1, _, _ in micro_workload.generate_s_rows()]
+        assert keys == list(range(1, micro_workload.config.s_rows + 1))
+
+    def test_generation_is_deterministic(self):
+        workload = MicroWorkload(MicroWorkloadConfig(scale=1 / 2000))
+        assert list(workload.generate_r_rows()) == list(workload.generate_r_rows())
+
+    def test_bounds_for_selectivity(self, micro_workload):
+        domain = micro_workload.config.a2_domain
+        low, high = micro_workload.bounds_for_selectivity(0.10)
+        selected = round(0.10 * domain)
+        assert (low, high) == (0, selected + 1)
+        assert micro_workload.bounds_for_selectivity(0.0) == (0, 1)
+        assert micro_workload.bounds_for_selectivity(1.0) == (0, domain + 1)
+        with pytest.raises(ValueError):
+            micro_workload.bounds_for_selectivity(2.0)
+
+    def test_expected_selected_rows_tracks_selectivity(self, micro_workload):
+        rows = micro_workload.config.r_rows
+        selected = micro_workload.expected_selected_rows(0.10)
+        assert selected == pytest.approx(0.10 * rows, rel=0.35)
+        assert micro_workload.expected_selected_rows(0.0) == 0
+        assert micro_workload.expected_selected_rows(1.0) == rows
+
+    def test_query_objects(self, micro_workload):
+        srs = micro_workload.sequential_range_selection(0.10)
+        irs = micro_workload.indexed_range_selection(0.10)
+        join = micro_workload.sequential_join()
+        assert isinstance(srs, SelectionQuery) and srs.prefer_index_on is None
+        assert isinstance(irs, SelectionQuery) and irs.prefer_index_on == "a2"
+        assert srs.aggregates[0].label == "avg(a3)"
+        assert isinstance(join, JoinQuery)
+        assert (join.left_column, join.right_column) == ("a2", "a1")
+
+    def test_expected_join_rows_equals_r_rows(self, micro_workload):
+        # Every R row's a2 hits some S primary key, so the join output is |R|.
+        assert micro_workload.expected_join_rows() == micro_workload.config.r_rows
+
+
+class TestSweeps:
+    def test_selectivity_sweep_shares_one_dataset(self):
+        points = selectivity_sweep(MicroWorkloadConfig(scale=1 / 2000))
+        assert [p.selectivity for p in points] == list(SELECTIVITY_POINTS)
+        assert len({id(p.workload) for p in points}) == 1
+
+    def test_record_size_sweep_builds_separate_workloads(self):
+        points = record_size_sweep(MicroWorkloadConfig(scale=1 / 2000))
+        assert [p.record_size for p in points] == list(RECORD_SIZE_POINTS)
+        assert len({id(p.workload) for p in points}) == len(points)
+
+    def test_build_database_for_point(self):
+        point = record_size_sweep(MicroWorkloadConfig(scale=1 / 4000))[0]
+        database = build_database_for_point(point, with_index=True)
+        table = database.table("R")
+        assert table.layout.record_size == point.record_size
+        assert table.index_on("a2") is not None
+
+
+class TestTPCD:
+    def test_build_and_query_suite(self):
+        config = TPCDConfig(lineitem_rows=400, orders_rows=40, part_rows=20, supplier_rows=10)
+        workload = TPCDWorkload(config)
+        database = workload.build()
+        assert database.row_count("lineitem") == 400
+        assert database.table("lineitem").index_on("l_shipdate") is not None
+        queries = workload.queries()
+        assert len(queries) == 17 == workload.query_count()
+        kinds = {type(q).__name__ for q in queries}
+        assert kinds == {"SelectionQuery", "JoinQuery"}
+
+    def test_suite_runs_through_a_session(self):
+        config = TPCDConfig(lineitem_rows=300, orders_rows=30, part_rows=15, supplier_rows=8)
+        workload = TPCDWorkload(config)
+        database = workload.build()
+        session = Session(database, SYSTEM_B, os_interference=None)
+        result = session.execute_suite(workload.queries()[:4], warmup_runs=0, label="subset")
+        assert result.queries_in_unit == 4
+        assert result.breakdown.total_cycles > 0
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            TPCDConfig(lineitem_rows=0)
+
+
+class TestTPCC:
+    def make(self) -> TPCCWorkload:
+        return TPCCWorkload(TPCCConfig(scale=1 / 100, users=4, seed=7))
+
+    def test_build_sizes_and_indexes(self):
+        workload = self.make()
+        database = workload.build()
+        config = workload.config
+        assert database.row_count("customer") == config.customer_rows
+        assert database.row_count("stock") == config.stock_rows
+        assert database.table("customer").index_on("c_id").unique
+        assert database.table("stock").index_on("s_i_id").unique
+
+    def test_transaction_mix_and_users(self):
+        workload = self.make()
+        transactions = list(workload.transactions(40))
+        assert len(transactions) == 40
+        kinds = {t.kind for t in transactions}
+        assert kinds == {"new_order", "payment"}
+        assert {t.user for t in transactions} == set(range(4))
+        new_order = next(t for t in transactions if t.kind == "new_order")
+        assert sum(isinstance(s, UpdateQuery) for s in new_order.statements) == \
+            workload.config.items_per_new_order
+
+    def test_run_measures_transactions(self):
+        workload = self.make()
+        database = workload.build()
+        session = Session(database, oltp_variant(SYSTEM_B), os_interference=None)
+        counters, breakdown, metrics, executed = workload.run(
+            session, transactions=6, warmup_transactions=2)
+        assert executed == 6
+        assert counters.get("INST_RETIRED") > 6 * SYSTEM_B.cost("txn_overhead").instructions
+        assert breakdown.total_cycles > 0
+        assert metrics.cpi > 0
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            TPCCConfig(new_order_fraction=1.5)
+        with pytest.raises(ValueError):
+            TPCCConfig(users=0)
