@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the exact command from ROADMAP.md, runnable from any
+# directory.  Extra pytest arguments pass through, e.g.
+#   scripts/run_tier1.sh -m "not slow"      # skip experiment-scale benchmarks
+#   scripts/run_tier1.sh tests/             # unit tests only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} exec python -m pytest -x -q "$@"

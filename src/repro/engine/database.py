@@ -28,11 +28,17 @@ class Database:
 
     # ------------------------------------------------------------------ DDL
     def create_table(self, name: str, columns: Sequence[Tuple[str, ColumnType]],
-                     record_size: Optional[int] = None) -> Table:
-        """Create a table from ``(name, type)`` pairs with optional padding."""
+                     record_size: Optional[int] = None,
+                     layout_style: str = "nsm") -> Table:
+        """Create a table from ``(name, type)`` pairs with optional padding.
+
+        ``layout_style`` selects the page organisation: ``"nsm"`` (slotted
+        pages, the default) or ``"pax"`` (per-column minipages).
+        """
         schema = Schema(columns=tuple(Column(cname, ctype) for cname, ctype in columns),
                         name=name)
-        return self.catalog.create_table(name, schema, record_size=record_size)
+        return self.catalog.create_table(name, schema, record_size=record_size,
+                                         layout_style=layout_style)
 
     def create_index(self, table: str, column: str, unique: bool = False) -> BTreeIndex:
         return self.catalog.create_index(table, column, unique=unique)

@@ -28,7 +28,8 @@ from ..hardware.pipeline import OverlapModel
 from ..hardware.processor import SimulatedProcessor
 from ..hardware.specs import PENTIUM_II_XEON, ProcessorSpec
 from ..query.planner import Planner
-from ..query.plans import (LogicalQuery, PhysicalPlan, UpdatePlan, UpdateQuery,
+from ..query.plans import (DEFAULT_BATCH_SIZE, ENGINE_TUPLE, ExecutionConfig,
+                           LogicalQuery, PhysicalPlan, UpdatePlan, UpdateQuery,
                            describe_plan)
 from ..systems.profile import SystemProfile
 from .database import Database
@@ -46,6 +47,15 @@ class QueryResult:
     breakdown: ExecutionBreakdown
     metrics: QueryMetrics
     queries_in_unit: int = 1
+    engine: str = ENGINE_TUPLE
+    #: Interpreted executor-routine invocations charged during the measured
+    #: unit (batched calls count once per batch) -- the quantity the
+    #: vectorized engine exists to shrink.
+    routine_invocations: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_routine_invocations(self) -> int:
+        return sum(self.routine_invocations.values())
 
     @property
     def scalar(self) -> object:
@@ -63,17 +73,26 @@ class Session:
                  profile: SystemProfile,
                  spec: ProcessorSpec = PENTIUM_II_XEON,
                  os_interference: Optional[OSInterferenceConfig] = OSInterferenceConfig(),
-                 overlap: Optional[OverlapModel] = None) -> None:
+                 overlap: Optional[OverlapModel] = None,
+                 engine: str = ENGINE_TUPLE,
+                 batch_size: int = DEFAULT_BATCH_SIZE) -> None:
         self.database = database
         self.profile = profile
         self.spec = spec
         self.processor = SimulatedProcessor(spec, os_interference=os_interference,
                                             overlap=overlap)
-        self.planner = Planner(database.catalog, profile)
+        self.planner = Planner(database.catalog, profile,
+                               execution=ExecutionConfig(engine=engine,
+                                                         batch_size=batch_size))
         self.code_layout = CodeLayout(profile, database.address_space)
         self.context = ExecutionContext(self.processor, profile,
                                         database.address_space,
                                         code_layout=self.code_layout)
+
+    @property
+    def execution(self) -> ExecutionConfig:
+        """The execution configuration plans are planned for and run under."""
+        return self.planner.execution
 
     # ------------------------------------------------------------- planning
     def plan(self, query: LogicalQuery) -> PhysicalPlan:
@@ -109,6 +128,7 @@ class Session:
         for _ in range(max(warmup_runs, 0)):
             self._run_plan(warmup_plan)
         self.processor.reset_counters()
+        invocations_before = self.context.snapshot_invocations()
 
         rows: List[Dict[str, object]] = []
         for _ in range(max(queries_per_unit, 1)):
@@ -121,7 +141,9 @@ class Session:
         return QueryResult(system=self.profile.key, label=label,
                            plan_description=describe_plan(plan), rows=rows,
                            counters=counters, breakdown=breakdown, metrics=metrics,
-                           queries_in_unit=max(queries_per_unit, 1))
+                           queries_in_unit=max(queries_per_unit, 1),
+                           engine=self.execution.engine,
+                           routine_invocations=self._invocation_delta(invocations_before))
 
     def execute_suite(self, queries: Sequence[LogicalQuery],
                       warmup_runs: int = 1, label: str = "") -> QueryResult:
@@ -131,6 +153,7 @@ class Session:
             for _ in range(max(warmup_runs, 0)):
                 self._run_plan(plan)
         self.processor.reset_counters()
+        invocations_before = self.context.snapshot_invocations()
         rows: List[Dict[str, object]] = []
         for plan, _ in plans:
             rows = self._run_plan(plan)
@@ -141,13 +164,24 @@ class Session:
         return QueryResult(system=self.profile.key, label=label or "suite",
                            plan_description="\n".join(describe_plan(p) for p, _ in plans),
                            rows=rows, counters=counters, breakdown=breakdown,
-                           metrics=metrics, queries_in_unit=len(plans))
+                           metrics=metrics, queries_in_unit=len(plans),
+                           engine=self.execution.engine,
+                           routine_invocations=self._invocation_delta(invocations_before))
 
     def _run_plan(self, plan: PhysicalPlan) -> List[Dict[str, object]]:
         if isinstance(plan, UpdatePlan):
-            updated = execute_update(plan, self.database.catalog, self.context)
+            updated = execute_update(plan, self.database.catalog, self.context,
+                                     execution=self.execution)
             return [{"updated": updated}]
-        return execute_plan(plan, self.database.catalog, self.context)
+        return execute_plan(plan, self.database.catalog, self.context,
+                            execution=self.execution)
+
+    def _invocation_delta(self, before: Dict[str, int]) -> Dict[str, int]:
+        """Routine invocations charged since the ``before`` snapshot."""
+        after = self.context.op_invocations
+        return {operation: after[operation] - before.get(operation, 0)
+                for operation in after
+                if after[operation] - before.get(operation, 0)}
 
     # -------------------------------------------------- transactional (OLTP)
     def execute_transaction(self, statements: Sequence[LogicalQuery]) -> int:
@@ -162,9 +196,11 @@ class Session:
         for statement in statements:
             plan = self.plan(statement)
             if isinstance(plan, UpdatePlan):
-                execute_update(plan, self.database.catalog, self.context, charge_setup=False)
+                execute_update(plan, self.database.catalog, self.context,
+                               charge_setup=False, execution=self.execution)
             else:
-                execute_plan(plan, self.database.catalog, self.context)
+                execute_plan(plan, self.database.catalog, self.context,
+                             execution=self.execution)
         return len(statements)
 
     def measure(self) -> Tuple[EventCounters, ExecutionBreakdown, QueryMetrics]:

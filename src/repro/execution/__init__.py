@@ -1,4 +1,11 @@
-"""Execution engine: code layout, execution context, operators, executor."""
+"""Execution engine: code layout, execution context, operators, executor.
+
+Two engines share the executor's plans: the tuple-at-a-time Volcano
+iterators in :mod:`.operators` (what the paper's systems do) and the
+batch-at-a-time operators in :mod:`.vectorized` (the amortised
+interpretation path).  ``execute_plan``/``execute_update`` dispatch on an
+:class:`~repro.query.plans.ExecutionConfig`.
+"""
 
 from .code_layout import BranchSite, CodeLayout, CodeSegment, LINE_BYTES
 from .context import ExecutionContext
@@ -8,6 +15,13 @@ from .operators import (HashJoinOperator, IndexNestedLoopJoinOperator,
                         IndexPointLookupOperator, IndexRangeScanOperator,
                         NestedLoopJoinOperator, Operator, OperatorError, Row,
                         ScalarAggregateOperator, SeqScanOperator, row_value)
+from .vectorized import (RowBatch, VecFilterOperator, VecHashJoinOperator,
+                         VecIndexNestedLoopJoinOperator,
+                         VecIndexPointLookupOperator, VecIndexRangeScanOperator,
+                         VecNestedLoopJoinOperator, VecScalarAggregateOperator,
+                         VecSeqScanOperator, VectorOperator,
+                         build_vectorized_join, build_vectorized_plan,
+                         build_vectorized_scan, execute_plan_vectorized)
 
 __all__ = [
     "BranchSite", "CodeLayout", "CodeSegment", "LINE_BYTES",
@@ -17,4 +31,10 @@ __all__ = [
     "HashJoinOperator", "IndexNestedLoopJoinOperator", "IndexPointLookupOperator",
     "IndexRangeScanOperator", "NestedLoopJoinOperator", "Operator", "OperatorError",
     "Row", "ScalarAggregateOperator", "SeqScanOperator", "row_value",
+    "RowBatch", "VectorOperator", "VecFilterOperator", "VecHashJoinOperator",
+    "VecIndexNestedLoopJoinOperator", "VecIndexPointLookupOperator",
+    "VecIndexRangeScanOperator", "VecNestedLoopJoinOperator",
+    "VecScalarAggregateOperator", "VecSeqScanOperator",
+    "build_vectorized_join", "build_vectorized_plan", "build_vectorized_scan",
+    "execute_plan_vectorized",
 ]

@@ -46,6 +46,16 @@ from .code_layout import CodeLayout, CodeSegment, LINE_BYTES
 _HASH_CONSTANT = 2654435761
 
 
+def _consecutive_runs(slots: Sequence[int]) -> Iterable[Sequence[int]]:
+    """Split an ascending slot list into maximal consecutive runs."""
+    start = 0
+    for position in range(1, len(slots)):
+        if slots[position] != slots[position - 1] + 1:
+            yield slots[start:position]
+            start = position
+    yield slots[start:]
+
+
 class ExecutionContext:
     """Per-(system, processor) execution state shared by all operators."""
 
@@ -80,13 +90,72 @@ class ExecutionContext:
 
         self.rows_produced = 0
 
+        # Routine-invocation counts: one entry per interpreted call.  A
+        # batched call (:meth:`visit_batch`) counts once however many
+        # records it covers -- the whole point of vectorization is that the
+        # invocation count stops scaling with the record count.
+        self.op_invocations: Dict[str, int] = {}
+
     # ------------------------------------------------------------------ core
     def visit(self, operation: str, data_taken: Optional[bool] = None,
               repeat: int = 1) -> None:
         """Charge ``repeat`` invocations of ``operation`` to the processor."""
         segment = self.layout.segment(operation)
+        self.op_invocations[operation] = self.op_invocations.get(operation, 0) + repeat
         for _ in range(repeat):
             self._visit_segment(segment, data_taken)
+
+    def visit_batch(self, operation: str, count: int) -> None:
+        """Charge ``count`` record-iterations of ``operation`` run as one batch.
+
+        The vectorized engine invokes a routine once per *batch* and loops a
+        tight body over the records, so the interpretation overhead -- call
+        dispatch, per-call setup, the cold-code excursion, the poorly
+        predicted call-site branches -- is paid once and amortised.  The
+        charge is therefore one full interpreted visit plus ``count - 1``
+        loop-body iterations that:
+
+        * retire only ``vector_body_fraction`` of the routine's instruction
+          path (and of its workspace churn and resource stalls),
+        * fetch no instruction lines (the body stays resident in L1I across
+          iterations -- exactly the locality the tuple engine lacks), and
+        * execute one well-predicted loop-closing branch per iteration
+          instead of the routine's data/cold branch sites.
+        """
+        if count <= 0:
+            return
+        segment = self.layout.segment(operation)
+        self.op_invocations[operation] = self.op_invocations.get(operation, 0) + 1
+        self._visit_segment(segment, None)
+        iterations = count - 1
+        if iterations <= 0:
+            return
+        processor = self.processor
+        fraction = self.profile.vector_body_fraction
+        body_instructions = max(int(round(segment.instructions * fraction)), 1)
+        body_uops = max(int(round(segment.uops * fraction)), 1)
+        processor.retire(body_instructions * iterations, body_uops * iterations)
+        if segment.data_refs:
+            processor.count_data_refs(segment.data_refs * iterations)
+        body_touches = int(round(segment.workspace_touches * fraction))
+        for _ in range(body_touches * iterations):
+            processor.data_read(self.workspace_base + self._workspace_cursor, 4)
+            self._workspace_cursor = ((self._workspace_cursor + self._workspace_stride)
+                                      % self._workspace_size)
+        # The loop-closing branch: backward, taken every iteration, predicted
+        # after the first trip -- charged in bulk with no mispredictions.
+        processor.count_branches(iterations, taken=iterations)
+        processor.add_resource_stalls(
+            segment.dependency_stall_cycles * fraction * iterations,
+            segment.fu_stall_cycles * fraction * iterations,
+            segment.ild_stall_cycles * fraction * iterations)
+
+    def total_invocations(self) -> int:
+        """Total interpreted routine invocations charged so far."""
+        return sum(self.op_invocations.values())
+
+    def snapshot_invocations(self) -> Dict[str, int]:
+        return dict(self.op_invocations)
 
     def _visit_segment(self, segment: CodeSegment, data_taken: Optional[bool]) -> None:
         processor = self.processor
@@ -186,10 +255,19 @@ class ExecutionContext:
         their higher L2 data-miss counts per record.
         """
         processor = self.processor
+        columnar = getattr(entry.page, "columnar", False)
         if self.profile.record_access_style == ACCESS_FIELDS_ONLY:
             for column in columns:
                 offset, width = layout.field_slice(column)
-                processor.data_read(entry.address + offset, width)
+                if columnar:
+                    processor.data_read(entry.page.field_address(entry.slot, offset), width)
+                else:
+                    processor.data_read(entry.address + offset, width)
+        elif columnar:
+            # "Full record" access on a PAX page touches every minipage slice
+            # of the record -- the values are scattered, there is no single
+            # contiguous sweep to issue.
+            self._touch_pax_record(entry, layout, processor.data_read)
         else:
             processor.data_read(entry.address, layout.record_size)
         view = entry.page.record_view(entry.slot)
@@ -198,12 +276,83 @@ class ExecutionContext:
 
     def read_record(self, entry: ScanEntry, layout: RecordLayout) -> Tuple:
         """Access the full record and decode every column (OLTP paths)."""
-        self.processor.data_read(entry.address, layout.record_size)
+        if getattr(entry.page, "columnar", False):
+            self._touch_pax_record(entry, layout, self.processor.data_read)
+        else:
+            self.processor.data_read(entry.address, layout.record_size)
         return layout.decode(bytes(entry.page.record_view(entry.slot)))
 
     def write_record(self, entry: ScanEntry, layout: RecordLayout) -> None:
         """Simulate the store traffic of an in-place record update."""
-        self.processor.data_write(entry.address, layout.record_size)
+        if getattr(entry.page, "columnar", False):
+            self._touch_pax_record(entry, layout, self.processor.data_write)
+        else:
+            self.processor.data_write(entry.address, layout.record_size)
+
+    def _touch_pax_record(self, entry: ScanEntry, layout: RecordLayout, access) -> None:
+        """Issue one access per minipage slice of a PAX record."""
+        page = entry.page
+        for index, column in enumerate(layout.schema):
+            access(page.field_address(entry.slot, layout.offsets[index]),
+                   column.byte_width)
+        if layout.padding_bytes:
+            access(page.field_address(entry.slot, layout.packed_size),
+                   layout.padding_bytes)
+
+    def read_column_batch(self, page, layout: RecordLayout, slots: Sequence[int],
+                          column: str) -> list:
+        """Read and decode one column for a batch of slots on one page.
+
+        On a PAX page the values are contiguous in the column's minipage, so
+        the batch becomes streaming span reads -- one per consecutive run of
+        selected slots, so a sparse selection does not touch the cache lines
+        of filtered-out rows.  On an NSM page the engine must still stride
+        record by record, issuing one field-sized load per slot -- the
+        layout, not the operator, determines the access pattern.
+        """
+        if not slots:
+            return []
+        if getattr(page, "columnar", False):
+            for run in _consecutive_runs(slots):
+                address, span_bytes = page.column_span(column, run)
+                self.processor.data_read_span(address, span_bytes, refs=len(run))
+            return page.column_values(column, slots)
+        offset, width = layout.field_slice(column)
+        processor = self.processor
+        out = []
+        for slot in slots:
+            processor.data_read(page.slot_address(slot) + offset, width)
+            data = bytes(page.record_view(slot)[:layout.packed_size])
+            out.append(layout.decode_column(data, column))
+        return out
+
+    def read_column_group_batch(self, page, layout: RecordLayout,
+                                slots: Sequence[int],
+                                columns: Sequence[str]) -> Dict[str, list]:
+        """Read and decode a group of columns for a batch of slots on one page.
+
+        This is the batch counterpart of :meth:`read_fields` and honours the
+        same access-style contract: ``fields_only`` systems (and PAX pages)
+        load each referenced column individually, while ``full_record``
+        systems on NSM pages sweep every record once per group (slot
+        parsing / record copy) -- exactly the per-record traffic the tuple
+        engine charges per ``read_fields`` call, so the engine switch does
+        not silently change a system's data-stall profile.
+        """
+        if not slots or not columns:
+            return {column: [] for column in columns}
+        if (getattr(page, "columnar", False)
+                or self.profile.record_access_style == ACCESS_FIELDS_ONLY):
+            return {column: self.read_column_batch(page, layout, slots, column)
+                    for column in columns}
+        processor = self.processor
+        out: Dict[str, list] = {column: [] for column in columns}
+        for slot in slots:
+            processor.data_read(page.slot_address(slot), layout.record_size)
+            data = bytes(page.record_view(slot)[:layout.packed_size])
+            for column in columns:
+                out[column].append(layout.decode_column(data, column))
+        return out
 
     # ------------------------------------------------------------- workspace
     def allocate_workspace(self, size: int, alignment: int = 64) -> int:

@@ -13,10 +13,10 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..query.expressions import Aggregate
-from ..query.plans import (AggregatePlan, HashJoinPlan, IndexNestedLoopJoinPlan,
-                           IndexPointLookupPlan, IndexRangeScanPlan, JoinPlan,
-                           NestedLoopJoinPlan, PhysicalPlan, ScanPlan, SeqScanPlan,
-                           UpdatePlan)
+from ..query.plans import (AggregatePlan, ExecutionConfig, HashJoinPlan,
+                           IndexNestedLoopJoinPlan, IndexPointLookupPlan,
+                           IndexRangeScanPlan, JoinPlan, NestedLoopJoinPlan,
+                           PhysicalPlan, ScanPlan, SeqScanPlan, UpdatePlan)
 from ..storage.catalog import Catalog, Table
 from .context import ExecutionContext
 from .operators import (HashJoinOperator, IndexNestedLoopJoinOperator,
@@ -30,14 +30,25 @@ class ExecutorError(RuntimeError):
 
 
 def _columns_for_table(table: Table, columns: Sequence[str]) -> Tuple[str, ...]:
-    """Subset of (possibly qualified) columns that belong to ``table``."""
+    """Subset of (possibly qualified) columns that belong to ``table``.
+
+    Qualified names are matched against the table: ``"S.a3"`` belongs to
+    table ``S`` only, even when another table also declares a column
+    ``a3``.  The caller's request order is preserved (first occurrence of a
+    duplicate wins), so the operator's output-column tuple is deterministic
+    for duplicate and mixed qualified/unqualified requests.
+    """
     names = set(table.schema.column_names())
-    out = []
+    out: List[str] = []
+    seen = set()
     for column in columns:
-        short = column.split(".")[-1]
-        if short in names:
+        qualifier, _, short = column.rpartition(".")
+        if qualifier and qualifier != table.name:
+            continue
+        if short in names and short not in seen:
+            seen.add(short)
             out.append(short)
-    return tuple(dict.fromkeys(out))
+    return tuple(out)
 
 
 def _index_for(table: Table, column: str):
@@ -127,15 +138,27 @@ def build_plan(plan: PhysicalPlan, catalog: Catalog, ctx: ExecutionContext) -> O
     raise ExecutorError(f"unknown plan node {plan!r}")
 
 
-def execute_plan(plan: PhysicalPlan, catalog: Catalog, ctx: ExecutionContext) -> List[Row]:
-    """Execute a read-only plan and return its result rows."""
+def execute_plan(plan: PhysicalPlan, catalog: Catalog, ctx: ExecutionContext,
+                 execution: Optional[ExecutionConfig] = None) -> List[Row]:
+    """Execute a read-only plan and return its result rows.
+
+    ``execution`` selects the engine: the default tuple-at-a-time iterators
+    above, or the batch-at-a-time operators of
+    :mod:`repro.execution.vectorized`.  Both engines run the *same* plan
+    and return identical rows; they differ in how the work is charged to
+    the simulated hardware.
+    """
+    if execution is not None and execution.is_vectorized:
+        from .vectorized import execute_plan_vectorized  # deferred: module imports us
+        return execute_plan_vectorized(plan, catalog, ctx, execution)
     ctx.visit("query_setup")
     operator = build_plan(plan, catalog, ctx)
     return list(operator.rows())
 
 
 def execute_update(plan: UpdatePlan, catalog: Catalog, ctx: ExecutionContext,
-                   charge_setup: bool = True) -> int:
+                   charge_setup: bool = True,
+                   execution: Optional[ExecutionConfig] = None) -> int:
     """Execute a point-update plan; returns the number of rows updated.
 
     The OLTP workload charges one ``txn_overhead`` per transaction itself (a
@@ -145,8 +168,14 @@ def execute_update(plan: UpdatePlan, catalog: Catalog, ctx: ExecutionContext,
     if charge_setup:
         ctx.visit("query_setup")
     table = catalog.table(plan.lookup.table)
-    lookup = build_scan(plan.lookup, catalog, ctx,
-                        output_columns=table.schema.column_names())
+    if execution is not None and execution.is_vectorized:
+        from .vectorized import build_vectorized_scan  # deferred: module imports us
+        lookup: Operator = build_vectorized_scan(
+            plan.lookup, catalog, ctx, table.schema.column_names(),
+            batch_size=execution.batch_size)
+    else:
+        lookup = build_scan(plan.lookup, catalog, ctx,
+                            output_columns=table.schema.column_names())
     updated = 0
     set_position = table.schema.index_of(plan.set_column)
     for row in lookup.rows():

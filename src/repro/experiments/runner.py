@@ -97,7 +97,7 @@ class ExperimentRunner:
         self._micro_workload: Optional[MicroWorkload] = None
         self._tpcd_db: Optional[Database] = None
         self._tpcd_workload: Optional[TPCDWorkload] = None
-        self._micro_results: Dict[Tuple[str, str, float, int], Optional[QueryResult]] = {}
+        self._micro_results: Dict[Tuple[str, str, float, int, str], Optional[QueryResult]] = {}
         self._record_size_results: Dict[Tuple[str, int], QueryResult] = {}
         self._record_size_dbs: Dict[int, Tuple[Database, MicroWorkload]] = {}
         self._tpcd_results: Dict[str, QueryResult] = {}
@@ -134,25 +134,29 @@ class ExperimentRunner:
         return ALL_SYSTEMS
 
     # ------------------------------------------------------------- sessions
-    def _session(self, profile: SystemProfile, database: Database) -> Session:
+    def _session(self, profile: SystemProfile, database: Database,
+                 engine: str = "tuple") -> Session:
         return Session(database, profile, spec=self.config.spec,
-                       os_interference=self.config.os_config())
+                       os_interference=self.config.os_config(), engine=engine)
 
     # ------------------------------------------------------- micro results
     def micro_result(self, system_key: str, kind: str,
                      selectivity: Optional[float] = None,
-                     record_size: Optional[int] = None) -> Optional[QueryResult]:
+                     record_size: Optional[int] = None,
+                     engine: str = "tuple") -> Optional[QueryResult]:
         """Measure one (system, query kind) point of the microbenchmark.
 
         Returns ``None`` for System A's indexed range selection: A's
         optimiser does not use the index, so -- exactly as in Figure 5.1 --
-        there is no IRS measurement for it.
+        there is no IRS measurement for it.  ``engine`` selects the
+        tuple-at-a-time executor (what the paper's systems do) or the
+        vectorized batch executor for the engine-ablation experiment.
         """
         if kind not in QUERY_KINDS:
             raise ValueError(f"unknown query kind {kind!r}; expected one of {QUERY_KINDS}")
         selectivity = self.config.selectivity if selectivity is None else selectivity
         record_size = self.config.micro.record_size if record_size is None else record_size
-        key = (system_key.upper(), kind, round(selectivity, 4), record_size)
+        key = (system_key.upper(), kind, round(selectivity, 4), record_size, engine)
         if key in self._micro_results:
             return self._micro_results[key]
 
@@ -166,7 +170,7 @@ class ExperimentRunner:
         else:
             database, workload = self._record_size_database(record_size)
 
-        session = self._session(profile, database)
+        session = self._session(profile, database, engine=engine)
         warmup_query = None
         warmup_runs = self.config.warmup_runs
         if kind == "SRS":

@@ -146,6 +146,27 @@ class Cache:
         """Access a single, already line-aligned address (fast path)."""
         return self._access_line(line_addr >> self._line_shift, port, write)
 
+    def access_span(self, addr: int, size: int, port: int,
+                    refs: Optional[int] = None, write: bool = False) -> int:
+        """Streaming access to a contiguous ``size``-byte span (batch path).
+
+        A vectorized executor reads a column batch as one tight loop of
+        element loads over a contiguous buffer.  ``refs`` is the number of
+        element accesses the loop issues (defaults to one per cache line);
+        the accesses land sequentially, so each line is looked up once and
+        the remaining ``refs - lines`` accesses are line hits by
+        construction.  Misses are still counted (and forwarded) per line,
+        which keeps the miss counters identical to issuing the element loads
+        one by one while recording the true access count.
+        """
+        lines = self.lines_spanned(addr, size)
+        misses = 0
+        for line in lines:
+            misses += self._access_line(line, port, write)
+        if refs is not None and refs > len(lines):
+            self.stats.accesses[port] += refs - len(lines)
+        return misses
+
     # ----------------------------------------------------------- internals
     def _access_line(self, line_number: int, port: int, write: bool) -> int:
         stats = self.stats
@@ -321,6 +342,10 @@ class CacheHierarchy:
     def write(self, addr: int, size: int = 4) -> int:
         """Data write; returns number of L1D misses incurred."""
         return self.l1d.access(addr, PORT_DATA_WRITE, size=size, write=True)
+
+    def read_span(self, addr: int, size: int, refs: Optional[int] = None) -> int:
+        """Streaming data read of a contiguous span (vectorized column batch)."""
+        return self.l1d.access_span(addr, size, PORT_DATA_READ, refs=refs)
 
     # Instruction side ------------------------------------------------------
     def fetch(self, line_addr: int) -> int:

@@ -159,6 +159,42 @@ class SimulatedProcessor:
                 counters.add("L2_DATA_MISS", l2_misses)
         return misses
 
+    def data_read_span(self, address: int, size: int, refs: Optional[int] = None) -> int:
+        """Streaming load of a contiguous span; returns the L1D misses incurred.
+
+        This is the data side of the vectorized batch path: a tight loop
+        issuing ``refs`` element loads over ``size`` contiguous bytes (one
+        load per cache line when ``refs`` is omitted).  Address translation
+        is performed once per virtual page the span touches rather than once
+        per element -- sequential access re-uses the same DTLB entry -- and
+        the cache hierarchy sees one lookup per line plus the implied hits.
+        """
+        if size <= 0:
+            return 0
+        counters = self.counters
+        line_count = len(self.caches.l1d.lines_spanned(address, size))
+        # Every line fetch is at least one access, so the ref count is
+        # clamped from below to keep DATA_MEM_REFS consistent with the L1D
+        # access statistics (wide values may straddle line boundaries).
+        element_refs = line_count if refs is None else max(refs, line_count)
+        counters.add("DATA_MEM_REFS", element_refs)
+        page_shift = self.dtlb._page_shift
+        dtlb_misses = 0
+        for page in range(address >> page_shift, (address + size - 1 >> page_shift) + 1):
+            dtlb_misses += self.dtlb.access(page << page_shift)
+        if dtlb_misses:
+            counters.add("DTLB_MISS", dtlb_misses)
+        l2 = self.caches.l2
+        l2_data_misses_before = l2.stats.misses[0] + l2.stats.misses[1]
+        misses = self.caches.read_span(address, size, refs=element_refs)
+        if misses:
+            counters.add("DCU_LINES_IN", misses)
+            counters.add("L2_DATA_RQSTS", misses)
+            l2_misses = (l2.stats.misses[0] + l2.stats.misses[1]) - l2_data_misses_before
+            if l2_misses:
+                counters.add("L2_DATA_MISS", l2_misses)
+        return misses
+
     def count_data_refs(self, count: int) -> None:
         """Account ``count`` loads/stores that hit the L1 D-cache.
 

@@ -5,16 +5,19 @@ from .expressions import (Aggregate, AggregateFunction, AggregateState, And, Bet
                           ExpressionError, Not, Or, avg, column, const, count_star,
                           equals, range_predicate)
 from .planner import DefaultPolicy, Planner, PlannerError, PlannerPolicy, extract_range_bounds
-from .plans import (AggregatePlan, HashJoinPlan, IndexNestedLoopJoinPlan,
-                    IndexPointLookupPlan, IndexRangeScanPlan, JoinQuery, LogicalQuery,
-                    NestedLoopJoinPlan, PhysicalPlan, SelectionQuery, SeqScanPlan,
-                    UpdatePlan, UpdateQuery, describe_plan)
+from .plans import (DEFAULT_BATCH_SIZE, ENGINE_TUPLE, ENGINE_VECTORIZED, ENGINES,
+                    AggregatePlan, ExecutionConfig, HashJoinPlan,
+                    IndexNestedLoopJoinPlan, IndexPointLookupPlan, IndexRangeScanPlan,
+                    JoinQuery, LogicalQuery, NestedLoopJoinPlan, PhysicalPlan,
+                    SelectionQuery, SeqScanPlan, UpdatePlan, UpdateQuery, describe_plan)
 
 __all__ = [
     "Aggregate", "AggregateFunction", "AggregateState", "And", "Between", "ColumnRef",
     "Comparison", "ComparisonOp", "Const", "Expression", "ExpressionError", "Not", "Or",
     "avg", "column", "const", "count_star", "equals", "range_predicate",
     "DefaultPolicy", "Planner", "PlannerError", "PlannerPolicy", "extract_range_bounds",
+    "DEFAULT_BATCH_SIZE", "ENGINE_TUPLE", "ENGINE_VECTORIZED", "ENGINES",
+    "ExecutionConfig",
     "AggregatePlan", "HashJoinPlan", "IndexNestedLoopJoinPlan", "IndexPointLookupPlan",
     "IndexRangeScanPlan", "JoinQuery", "LogicalQuery", "NestedLoopJoinPlan",
     "PhysicalPlan", "SelectionQuery", "SeqScanPlan", "UpdatePlan", "UpdateQuery",

@@ -22,9 +22,10 @@ from typing import Optional, Protocol, Tuple
 from ..storage.catalog import Catalog
 from .expressions import (Between, Comparison, ComparisonOp, ColumnRef, Const,
                           Expression)
-from .plans import (AggregatePlan, HashJoinPlan, IndexNestedLoopJoinPlan,
-                    IndexPointLookupPlan, IndexRangeScanPlan, JoinQuery,
-                    LogicalQuery, NestedLoopJoinPlan, PhysicalPlan, ScanPlan,
+from .plans import (AggregatePlan, ExecutionConfig, HashJoinPlan,
+                    IndexNestedLoopJoinPlan, IndexPointLookupPlan,
+                    IndexRangeScanPlan, JoinQuery, LogicalQuery,
+                    NestedLoopJoinPlan, PhysicalPlan, ScanPlan,
                     SelectionQuery, SeqScanPlan, UpdatePlan, UpdateQuery)
 
 
@@ -100,11 +101,20 @@ def extract_range_bounds(predicate: Expression, column_name: str) -> Optional[Ra
 
 
 class Planner:
-    """Lower logical queries to physical plans for one catalog + policy."""
+    """Lower logical queries to physical plans for one catalog + policy.
 
-    def __init__(self, catalog: Catalog, policy: Optional[PlannerPolicy] = None) -> None:
+    ``execution`` records the engine choice (tuple vs vectorized) and batch
+    geometry the produced plans are intended to run under; the session reads
+    it back when dispatching plans to the executor.  It does not influence
+    plan *shape*: both engines execute identical plans, which is what makes
+    the engines differentially testable.
+    """
+
+    def __init__(self, catalog: Catalog, policy: Optional[PlannerPolicy] = None,
+                 execution: Optional[ExecutionConfig] = None) -> None:
         self.catalog = catalog
         self.policy = policy or DefaultPolicy()
+        self.execution = execution or ExecutionConfig()
 
     # ---------------------------------------------------------------- entry
     def plan(self, query: LogicalQuery) -> PhysicalPlan:

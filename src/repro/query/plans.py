@@ -23,6 +23,47 @@ from .expressions import Aggregate, Expression
 
 
 # --------------------------------------------------------------------------
+# Execution engines
+# --------------------------------------------------------------------------
+#: Tuple-at-a-time Volcano iteration (what the paper's four systems do).
+ENGINE_TUPLE = "tuple"
+#: Batch-at-a-time vectorized execution (the amortised-interpretation path).
+ENGINE_VECTORIZED = "vectorized"
+
+ENGINES = (ENGINE_TUPLE, ENGINE_VECTORIZED)
+
+#: Records processed per batch by the vectorized engine.  Sized so a batch
+#: of one column (a few KB) fits comfortably in the 16 KB L1 D-cache.
+DEFAULT_BATCH_SIZE = 256
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """How physical plans are executed: engine choice and batch geometry.
+
+    The planner produces the *same* physical plans for both engines -- the
+    plan describes access paths and join algorithms, and the engine decides
+    whether the operator tree iterates tuple-at-a-time or batch-at-a-time.
+    Keeping the switch in a config object (rather than in the plan nodes)
+    is what lets the differential harness replay one plan under both
+    engines and diff the results.
+    """
+
+    engine: str = ENGINE_TUPLE
+    batch_size: int = DEFAULT_BATCH_SIZE
+
+    def __post_init__(self) -> None:
+        if self.engine not in ENGINES:
+            raise ValueError(f"unknown engine {self.engine!r}; expected one of {ENGINES}")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+
+    @property
+    def is_vectorized(self) -> bool:
+        return self.engine == ENGINE_VECTORIZED
+
+
+# --------------------------------------------------------------------------
 # Logical queries
 # --------------------------------------------------------------------------
 @dataclass(frozen=True)

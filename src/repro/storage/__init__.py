@@ -3,9 +3,10 @@
 from .address_space import AddressSpace, AddressSpaceError, Region
 from .buffer_pool import BufferPool, BufferPoolError, BufferPoolStats
 from .catalog import Catalog, CatalogError, Table
-from .heapfile import HeapFile, HeapFileError, ScanEntry
-from .page import (DEFAULT_PAGE_SIZE, PAGE_HEADER_BYTES, PageError, RecordId,
-                   SlottedPage)
+from .heapfile import (PAGE_STYLE_NSM, PAGE_STYLE_PAX, PAGE_STYLES, HeapFile,
+                       HeapFileError, ScanEntry)
+from .page import (DEFAULT_PAGE_SIZE, PAGE_HEADER_BYTES, PageError, PaxPage,
+                   RecordId, SlottedPage)
 from .schema import (Column, ColumnType, RecordLayout, Schema, SchemaError,
                      microbenchmark_schema)
 
@@ -14,7 +15,9 @@ __all__ = [
     "BufferPool", "BufferPoolError", "BufferPoolStats",
     "Catalog", "CatalogError", "Table",
     "HeapFile", "HeapFileError", "ScanEntry",
-    "DEFAULT_PAGE_SIZE", "PAGE_HEADER_BYTES", "PageError", "RecordId", "SlottedPage",
+    "PAGE_STYLE_NSM", "PAGE_STYLE_PAX", "PAGE_STYLES",
+    "DEFAULT_PAGE_SIZE", "PAGE_HEADER_BYTES", "PageError", "PaxPage",
+    "RecordId", "SlottedPage",
     "Column", "ColumnType", "RecordLayout", "Schema", "SchemaError",
     "microbenchmark_schema",
 ]

@@ -68,13 +68,24 @@ class BufferPool:
         self.stats = BufferPoolStats()
 
     # ------------------------------------------------------------ allocation
-    def allocate_page(self) -> SlottedPage:
-        """Create a brand-new page with a stable virtual address."""
+    def allocate_page(self,
+                      page_factory: Optional[Callable[[int, int], SlottedPage]] = None
+                      ) -> SlottedPage:
+        """Create a brand-new page with a stable virtual address.
+
+        ``page_factory(page_number, base_address)`` lets the caller choose
+        the page organisation (a heap file configured for the PAX layout
+        allocates :class:`~repro.storage.page.PaxPage` frames); the default
+        is the classic slotted NSM page.
+        """
         page_number = self._next_page_number
         self._next_page_number += 1
         base_address = self.address_space.allocate(self.region, self.page_size,
                                                    alignment=self.page_size)
-        page = SlottedPage(page_number, base_address, self.page_size)
+        if page_factory is None:
+            page = SlottedPage(page_number, base_address, self.page_size)
+        else:
+            page = page_factory(page_number, base_address)
         self._admit(page)
         return page
 

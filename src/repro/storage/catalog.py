@@ -18,7 +18,7 @@ from .address_space import AddressSpace
 if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance (storage <-> index)
     from ..index.btree import BTreeIndex
 from .buffer_pool import BufferPool
-from .heapfile import HeapFile
+from .heapfile import PAGE_STYLE_NSM, HeapFile
 from .page import DEFAULT_PAGE_SIZE, RecordId
 from .schema import RecordLayout, Schema
 
@@ -98,11 +98,13 @@ class Catalog:
 
     # ----------------------------------------------------------- DDL paths
     def create_table(self, name: str, schema: Schema,
-                     record_size: Optional[int] = None) -> Table:
+                     record_size: Optional[int] = None,
+                     layout_style: str = PAGE_STYLE_NSM) -> Table:
+        """Create a table; ``layout_style`` picks NSM or PAX page organisation."""
         if name in self._tables:
             raise CatalogError(f"table {name!r} already exists")
         layout = RecordLayout.build(schema, record_size=record_size)
-        heap = HeapFile(name, layout, self.heap_pool)
+        heap = HeapFile(name, layout, self.heap_pool, page_style=layout_style)
         table = Table(name=name, schema=schema, layout=layout, heap=heap)
         self._tables[name] = table
         return table

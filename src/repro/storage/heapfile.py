@@ -17,7 +17,7 @@ from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from .buffer_pool import BufferPool
-from .page import PageError, RecordId, SlottedPage
+from .page import PageError, PaxPage, RecordId, SlottedPage
 from .schema import RecordLayout
 
 
@@ -40,13 +40,30 @@ class ScanEntry:
     address: int
 
 
-class HeapFile:
-    """An append-oriented file of fixed-layout records."""
+#: Supported physical page organisations.
+PAGE_STYLE_NSM = "nsm"
+PAGE_STYLE_PAX = "pax"
+PAGE_STYLES = (PAGE_STYLE_NSM, PAGE_STYLE_PAX)
 
-    def __init__(self, name: str, layout: RecordLayout, buffer_pool: BufferPool) -> None:
+
+class HeapFile:
+    """An append-oriented file of fixed-layout records.
+
+    ``page_style`` selects the physical page organisation: ``"nsm"`` (the
+    default slotted pages the paper's systems use) or ``"pax"`` (one
+    minipage per column, so column batches are contiguous and the
+    vectorized scan can read them as dense spans).
+    """
+
+    def __init__(self, name: str, layout: RecordLayout, buffer_pool: BufferPool,
+                 page_style: str = PAGE_STYLE_NSM) -> None:
+        if page_style not in PAGE_STYLES:
+            raise HeapFileError(f"unknown page style {page_style!r}; "
+                                f"expected one of {PAGE_STYLES}")
         self.name = name
         self.layout = layout
         self.buffer_pool = buffer_pool
+        self.page_style = page_style
         self._page_numbers: List[int] = []
         self._record_count = 0
         self._current_page: Optional[SlottedPage] = None
@@ -81,7 +98,15 @@ class HeapFile:
     def _page_for_insert(self, record_size: int) -> SlottedPage:
         page = self._current_page
         if page is None or not page.has_room_for(record_size):
-            page = self.buffer_pool.allocate_page()
+            factory = None
+            if self.page_style == PAGE_STYLE_PAX:
+                layout = self.layout
+                page_size = self.buffer_pool.page_size
+
+                def factory(page_number: int, base_address: int) -> PaxPage:
+                    return PaxPage(page_number, base_address, layout, page_size)
+
+            page = self.buffer_pool.allocate_page(factory)
             self._page_numbers.append(page.page_number)
             self._current_page = page
         return page
@@ -105,6 +130,8 @@ class HeapFile:
         """Capacity of one page for this layout (used by cost estimates)."""
         from .page import PAGE_HEADER_BYTES, SLOT_ENTRY_BYTES
         usable = self.buffer_pool.page_size - PAGE_HEADER_BYTES
+        if self.page_style == PAGE_STYLE_PAX:
+            return max(usable // self.layout.record_size, 1)
         return max(usable // (self.layout.record_size + SLOT_ENTRY_BYTES), 1)
 
     def data_bytes(self) -> int:

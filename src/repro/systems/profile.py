@@ -187,6 +187,16 @@ class SystemProfile:
     sites (hot loops and predicates) mostly hit, and this rate covers the
     long tail that does not."""
     ild_stall_per_instruction: float = 0.03
+    vector_body_fraction: float = 0.25
+    """Per-iteration share of a routine's cost that survives vectorization.
+
+    When the executor runs a routine over a batch instead of invoking it per
+    tuple, the interpretation overhead (dispatch, per-call setup, cold-code
+    excursions) is paid once per batch and only the tight loop body remains
+    per record.  This fraction scales the routine's instruction path,
+    workspace churn and resource stalls for those loop-body iterations; the
+    remaining ~1 - fraction is exactly the amortised overhead the paper
+    attributes to tuple-at-a-time interpretation."""
     code_layout_gap_bytes: int = 0
     """Padding inserted between code segments when laying them out.
 
@@ -213,6 +223,8 @@ class SystemProfile:
             raise ProfileError("bulk_branch_btb_miss_rate must be in [0, 1]")
         if self.workspace_bytes <= 0:
             raise ProfileError("workspace_bytes must be positive")
+        if not 0.0 < self.vector_body_fraction <= 1.0:
+            raise ProfileError("vector_body_fraction must be in (0, 1]")
         missing = [op for op in OPERATION_NAMES if op not in self.costs]
         if missing:
             raise ProfileError(f"profile {self.key!r} is missing operation costs: {missing}")
