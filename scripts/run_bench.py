@@ -1,0 +1,183 @@
+#!/usr/bin/env python
+"""Wall-clock + simulated-cycle benchmark of the Figure 5.1-style queries.
+
+Runs the microbenchmark queries (sequential range selection, indexed range
+selection, sequential join) under every engine x layout combination
+(tuple/vectorized x NSM/PAX) and emits a ``BENCH_<stamp>.json`` recording,
+per configuration:
+
+* ``wall_seconds`` -- best-of-``--repeat`` wall-clock time of the measured
+  execution (the *simulator's* speed, which is what caps how large a
+  Figure 5.1/5.2 grid we can afford), and
+* ``cycles`` -- simulated ``CPU_CLK_UNHALTED`` (the *modelled* speed, which
+  must not change when the simulator gets faster).
+
+``--compare-to`` embeds a previous BENCH json (e.g. one captured before a
+perf PR) and reports per-configuration speedups, so the perf trajectory of
+the simulator is recorded alongside the numbers themselves.
+
+Usage::
+
+    PYTHONPATH=src python scripts/run_bench.py
+    PYTHONPATH=src python scripts/run_bench.py --repeat 5 --compare-to BENCH_x.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
+
+from repro.engine.database import Database
+from repro.engine.session import Session
+from repro.systems import SYSTEM_B
+from repro.workloads.micro import MicroWorkload, MicroWorkloadConfig
+
+ENGINES = ("tuple", "vectorized")
+LAYOUTS = ("nsm", "pax")
+QUERY_KINDS = ("SRS", "IRS", "SJ")
+
+#: The configuration whose wall clock the perf acceptance criteria track.
+HEADLINE = ("vectorized", "pax", "SRS")
+
+
+def build_database(workload: MicroWorkload, layout: str) -> Database:
+    db = Database()
+    from repro.storage.schema import ColumnType
+
+    columns = [("a1", ColumnType.INT32), ("a2", ColumnType.INT32),
+               ("a3", ColumnType.INT32)]
+    db.create_table("R", columns, record_size=workload.config.record_size,
+                    layout_style=layout)
+    db.load("R", workload.generate_r_rows())
+    db.create_table("S", columns, record_size=workload.config.record_size,
+                    layout_style=layout)
+    db.load("S", workload.generate_s_rows())
+    workload.create_selection_index(db)
+    return db
+
+
+def query_for(workload: MicroWorkload, kind: str):
+    if kind == "SRS":
+        return workload.sequential_range_selection()
+    if kind == "IRS":
+        return workload.indexed_range_selection()
+    return workload.sequential_join()
+
+
+def measure(workload: MicroWorkload, engine: str, layout: str, kind: str,
+            repeat: int) -> dict:
+    """Best-of-``repeat`` wall clock (fresh database and session per run)."""
+    best = None
+    cycles = rows = None
+    for _ in range(repeat):
+        db = build_database(workload, layout)
+        session = Session(db, SYSTEM_B, os_interference=None, engine=engine)
+        query = query_for(workload, kind)
+        start = time.perf_counter()
+        result = session.execute(query, warmup_runs=0)
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+        cycles = result.counters.get("CPU_CLK_UNHALTED")
+        rows = result.rows
+    return {"engine": engine, "layout": layout, "query": kind,
+            "wall_seconds": round(best, 6), "cycles": cycles,
+            "result_rows": rows}
+
+
+def git_revision() -> str:
+    try:
+        return subprocess.check_output(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            text=True).strip()
+    except Exception:
+        return "unknown"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="runs per configuration; best wall clock is kept")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="microbenchmark scale override (default: workload default)")
+    parser.add_argument("--label", default="",
+                        help="free-form label recorded in the json (e.g. 'PR 1 baseline')")
+    parser.add_argument("--compare-to", default=None, metavar="BENCH.json",
+                        help="embed a previous BENCH json and report speedups")
+    parser.add_argument("--out-dir", default=None,
+                        help="directory for BENCH_<stamp>.json (default: repo root)")
+    args = parser.parse_args()
+
+    config = MicroWorkloadConfig() if args.scale is None else \
+        MicroWorkloadConfig(scale=args.scale)
+    workload = MicroWorkload(config)
+
+    configs = []
+    for engine in ENGINES:
+        for layout in LAYOUTS:
+            for kind in QUERY_KINDS:
+                point = measure(workload, engine, layout, kind, args.repeat)
+                configs.append(point)
+                print(f"{engine:>10} x {layout} x {kind}: "
+                      f"{point['wall_seconds']:.3f}s wall, "
+                      f"{point['cycles']:,} simulated cycles")
+
+    report = {
+        "label": args.label,
+        "git_revision": git_revision(),
+        "python": platform.python_version(),
+        "repeat": args.repeat,
+        "scale": config.scale,
+        "r_rows": config.r_rows,
+        "system": SYSTEM_B.key,
+        "headline": {"engine": HEADLINE[0], "layout": HEADLINE[1],
+                     "query": HEADLINE[2]},
+        "configs": configs,
+    }
+
+    if args.compare_to:
+        with open(args.compare_to) as handle:
+            baseline = json.load(handle)
+        report["baseline"] = baseline
+        speedups = {}
+        baseline_points = {(c["engine"], c["layout"], c["query"]): c
+                           for c in baseline.get("configs", ())}
+        for point in configs:
+            key = (point["engine"], point["layout"], point["query"])
+            if key in baseline_points:
+                before = baseline_points[key]["wall_seconds"]
+                after = point["wall_seconds"]
+                speedups["/".join(key)] = {
+                    "before_wall_seconds": before,
+                    "after_wall_seconds": after,
+                    "speedup": round(before / after, 3) if after else None,
+                    "cycles_before": baseline_points[key]["cycles"],
+                    "cycles_after": point["cycles"],
+                }
+        report["speedups"] = speedups
+        headline_key = "/".join(HEADLINE)
+        if headline_key in speedups:
+            print(f"\nheadline {headline_key}: "
+                  f"{speedups[headline_key]['speedup']}x wall-clock speedup")
+
+    stamp = time.strftime("%Y%m%d-%H%M%S")
+    out_dir = args.out_dir or os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    path = os.path.join(out_dir, f"BENCH_{stamp}.json")
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    print(f"\nwrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -3,6 +3,15 @@
 # directory.  Extra pytest arguments pass through, e.g.
 #   scripts/run_tier1.sh -m "not slow"      # skip experiment-scale benchmarks
 #   scripts/run_tier1.sh tests/             # unit tests only
+#   scripts/run_tier1.sh --quick            # shorthand for -m "not slow" (CI)
 set -euo pipefail
 cd "$(dirname "$0")/.."
-PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} exec python -m pytest -x -q "$@"
+args=()
+for arg in "$@"; do
+  if [[ "$arg" == "--quick" ]]; then
+    args+=(-m "not slow")
+  else
+    args+=("$arg")
+  fi
+done
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} exec python -m pytest -x -q "${args[@]+"${args[@]}"}"

@@ -28,9 +28,9 @@ from ..hardware.pipeline import OverlapModel
 from ..hardware.processor import SimulatedProcessor
 from ..hardware.specs import PENTIUM_II_XEON, ProcessorSpec
 from ..query.planner import Planner
-from ..query.plans import (DEFAULT_BATCH_SIZE, ENGINE_TUPLE, ExecutionConfig,
-                           LogicalQuery, PhysicalPlan, UpdatePlan, UpdateQuery,
-                           describe_plan)
+from ..query.plans import (CHARGE_SPAN, DEFAULT_BATCH_SIZE, ENGINE_TUPLE,
+                           ExecutionConfig, LogicalQuery, PhysicalPlan,
+                           UpdatePlan, UpdateQuery, describe_plan)
 from ..systems.profile import SystemProfile
 from .database import Database
 
@@ -75,7 +75,8 @@ class Session:
                  os_interference: Optional[OSInterferenceConfig] = OSInterferenceConfig(),
                  overlap: Optional[OverlapModel] = None,
                  engine: str = ENGINE_TUPLE,
-                 batch_size: int = DEFAULT_BATCH_SIZE) -> None:
+                 batch_size: int = DEFAULT_BATCH_SIZE,
+                 charge_mode: str = CHARGE_SPAN) -> None:
         self.database = database
         self.profile = profile
         self.spec = spec
@@ -83,11 +84,13 @@ class Session:
                                             overlap=overlap)
         self.planner = Planner(database.catalog, profile,
                                execution=ExecutionConfig(engine=engine,
-                                                         batch_size=batch_size))
+                                                         batch_size=batch_size,
+                                                         charge_mode=charge_mode))
         self.code_layout = CodeLayout(profile, database.address_space)
         self.context = ExecutionContext(self.processor, profile,
                                         database.address_space,
-                                        code_layout=self.code_layout)
+                                        code_layout=self.code_layout,
+                                        charge_mode=charge_mode)
 
     @property
     def execution(self) -> ExecutionConfig:

@@ -15,11 +15,11 @@ from .operators import (HashJoinOperator, IndexNestedLoopJoinOperator,
                         IndexPointLookupOperator, IndexRangeScanOperator,
                         NestedLoopJoinOperator, Operator, OperatorError, Row,
                         ScalarAggregateOperator, SeqScanOperator, row_value)
-from .vectorized import (RowBatch, VecFilterOperator, VecHashJoinOperator,
+from .vectorized import (ColumnBatch, VecFilterOperator, VecHashJoinOperator,
                          VecIndexNestedLoopJoinOperator,
                          VecIndexPointLookupOperator, VecIndexRangeScanOperator,
                          VecNestedLoopJoinOperator, VecScalarAggregateOperator,
-                         VecSeqScanOperator, VectorOperator,
+                         VecSeqScanOperator, VectorOperator, merge_gather,
                          build_vectorized_join, build_vectorized_plan,
                          build_vectorized_scan, execute_plan_vectorized)
 
@@ -31,10 +31,10 @@ __all__ = [
     "HashJoinOperator", "IndexNestedLoopJoinOperator", "IndexPointLookupOperator",
     "IndexRangeScanOperator", "NestedLoopJoinOperator", "Operator", "OperatorError",
     "Row", "ScalarAggregateOperator", "SeqScanOperator", "row_value",
-    "RowBatch", "VectorOperator", "VecFilterOperator", "VecHashJoinOperator",
+    "ColumnBatch", "VectorOperator", "VecFilterOperator", "VecHashJoinOperator",
     "VecIndexNestedLoopJoinOperator", "VecIndexPointLookupOperator",
     "VecIndexRangeScanOperator", "VecNestedLoopJoinOperator",
-    "VecScalarAggregateOperator", "VecSeqScanOperator",
+    "VecScalarAggregateOperator", "VecSeqScanOperator", "merge_gather",
     "build_vectorized_join", "build_vectorized_plan", "build_vectorized_scan",
     "execute_plan_vectorized",
 ]

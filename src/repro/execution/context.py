@@ -26,6 +26,19 @@ Operators interact with it through a handful of calls:
 
 ``record_done()``
     Mark a record boundary (per-record metrics, OS-interrupt pacing).
+
+The context also owns two cross-cutting concerns of the columnar engine:
+
+* **Span charging** (``charge_mode="span"``, the default): column-vector
+  reads, full-record sweeps and workspace churn reach the simulated
+  hardware as bulk strided operations instead of per-address probes.  The
+  bulk paths are count-identical to the ``per_address`` mode -- same
+  cache/TLB hits and misses, same LRU evolution -- they only make the
+  *simulator* several times faster (the differential harness asserts the
+  equivalence on every plan shape).
+* **Memoized plan resolution**: ``columns_for_table``/``index_for`` cache
+  schema-subset and index lookups per context, so operators that are
+  re-instantiated per batch (block nested-loop inners) do not re-resolve.
 """
 
 from __future__ import annotations
@@ -33,13 +46,16 @@ from __future__ import annotations
 from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
 
 from ..hardware.processor import SimulatedProcessor
+from ..query.plans import CHARGE_MODES, CHARGE_SPAN
 from ..storage.address_space import AddressSpace
+from ..storage.catalog import Table
 from ..storage.heapfile import ScanEntry
 from ..storage.schema import RecordLayout
 from ..systems.profile import (ACCESS_FIELDS_ONLY, BRANCH_KIND_ALTERNATING,
                                BRANCH_KIND_COLD, BRANCH_KIND_DATA, BRANCH_KIND_LOOP,
                                BRANCH_KIND_RARE, SystemProfile)
 from .code_layout import CodeLayout, CodeSegment, LINE_BYTES
+from .resolve import _columns_for_table, _index_for
 
 #: Knuth multiplicative-hash constant used for deterministic pseudo-random
 #: branch outcomes (the simulation must be reproducible run to run).
@@ -63,11 +79,22 @@ class ExecutionContext:
                  processor: SimulatedProcessor,
                  profile: SystemProfile,
                  address_space: AddressSpace,
-                 code_layout: Optional[CodeLayout] = None) -> None:
+                 code_layout: Optional[CodeLayout] = None,
+                 charge_mode: str = CHARGE_SPAN) -> None:
+        if charge_mode not in CHARGE_MODES:
+            raise ValueError(f"unknown charge mode {charge_mode!r}; "
+                             f"expected one of {CHARGE_MODES}")
         self.processor = processor
         self.profile = profile
         self.address_space = address_space
         self.layout = code_layout or CodeLayout(profile, address_space)
+        #: ``span`` presents vector touches to the hardware as bulk
+        #: operations; ``per_address`` probes one address at a time.  Both
+        #: modes generate the same trace, so every cache/TLB hit and miss
+        #: count is identical -- span charging is a simulator fast path, not
+        #: a model change (asserted by the differential harness).
+        self.charge_mode = charge_mode
+        self._span_charging = charge_mode == CHARGE_SPAN
 
         # Private working set (cycled through on every routine invocation).
         self.workspace_base = address_space.allocate("workspace", profile.workspace_bytes,
@@ -95,6 +122,32 @@ class ExecutionContext:
         # records it covers -- the whole point of vectorization is that the
         # invocation count stops scaling with the record count.
         self.op_invocations: Dict[str, int] = {}
+
+        # Memoized plan-resolution results (column subsets and index
+        # lookups).  The vectorized block nested-loop join re-instantiates
+        # its inner operator once per outer batch, so without the cache the
+        # schema set/loop work of ``_columns_for_table`` re-runs per batch.
+        self._columns_cache: Dict[Tuple[str, Tuple[str, ...]], Tuple[str, ...]] = {}
+        self._index_cache: Dict[Tuple[str, str], object] = {}
+
+    # ------------------------------------------------------------ resolution
+    def columns_for_table(self, table: Table, columns: Sequence[str]) -> Tuple[str, ...]:
+        """Memoized :func:`~repro.execution.resolve._columns_for_table`."""
+        key = (table.name, tuple(columns))
+        cached = self._columns_cache.get(key)
+        if cached is None:
+            cached = _columns_for_table(table, columns)
+            self._columns_cache[key] = cached
+        return cached
+
+    def index_for(self, table: Table, column: str):
+        """Memoized :func:`~repro.execution.resolve._index_for`."""
+        key = (table.name, column)
+        cached = self._index_cache.get(key)
+        if cached is None:
+            cached = _index_for(table, column)
+            self._index_cache[key] = cached
+        return cached
 
     # ------------------------------------------------------------------ core
     def visit(self, operation: str, data_taken: Optional[bool] = None,
@@ -138,10 +191,7 @@ class ExecutionContext:
         if segment.data_refs:
             processor.count_data_refs(segment.data_refs * iterations)
         body_touches = int(round(segment.workspace_touches * fraction))
-        for _ in range(body_touches * iterations):
-            processor.data_read(self.workspace_base + self._workspace_cursor, 4)
-            self._workspace_cursor = ((self._workspace_cursor + self._workspace_stride)
-                                      % self._workspace_size)
+        self._touch_workspace(body_touches * iterations)
         # The loop-closing branch: backward, taken every iteration, predicted
         # after the first trip -- charged in bulk with no mispredictions.
         processor.count_branches(iterations, taken=iterations)
@@ -170,19 +220,27 @@ class ExecutionContext:
         # Data side: bulk references plus private working-set touches.
         if segment.data_refs:
             processor.count_data_refs(segment.data_refs)
-        for _ in range(segment.workspace_touches):
-            processor.data_read(self.workspace_base + self._workspace_cursor, 4)
-            self._workspace_cursor = ((self._workspace_cursor + self._workspace_stride)
-                                      % self._workspace_size)
+        self._touch_workspace(segment.workspace_touches)
 
-        # Branch sites.
-        for site in segment.branch_sites:
-            taken, address = self._site_outcome(site, data_taken)
-            mispredicted = processor.branch(address, taken, backward=(site.kind == BRANCH_KIND_LOOP))
-            if site.weight > 1:
-                extra = site.weight - 1
-                processor.count_branches(extra, taken=extra if taken else 0,
-                                         mispredictions=extra if mispredicted else 0)
+        # Branch sites.  The predictor is exercised per site; the retirement
+        # counters are folded into one bulk update per segment visit.
+        if segment.branch_sites:
+            branch_unit = processor.branch_unit
+            btb_before = branch_unit.stats.btb_misses
+            branches = taken_count = mispredictions = 0
+            for site in segment.branch_sites:
+                taken, address = self._site_outcome(site, data_taken)
+                mispredicted = branch_unit.execute(
+                    address, taken, backward=(site.kind == BRANCH_KIND_LOOP))
+                weight = site.weight
+                branches += weight
+                if taken:
+                    taken_count += weight
+                if mispredicted:
+                    mispredictions += weight
+            processor.count_branches(branches, taken=taken_count,
+                                     mispredictions=mispredictions,
+                                     btb_misses=branch_unit.stats.btb_misses - btb_before)
 
         # Bulk branch population.
         if segment.bulk_branches:
@@ -200,6 +258,38 @@ class ExecutionContext:
         processor.add_resource_stalls(segment.dependency_stall_cycles,
                                       segment.fu_stall_cycles,
                                       segment.ild_stall_cycles)
+
+    def _touch_workspace(self, touches: int) -> None:
+        """Charge ``touches`` cyclic private-working-set reads.
+
+        The executor strides a 4-byte read through its workspace region on
+        every routine (and loop-body) iteration.  Under span charging a run
+        of touches is presented to the hardware as one strided bulk read per
+        wrap of the cyclic cursor -- count-identical to issuing the reads
+        one :meth:`~repro.hardware.processor.SimulatedProcessor.data_read`
+        at a time, which is exactly what the ``per_address`` mode still
+        does.
+        """
+        if touches <= 0:
+            return
+        processor = self.processor
+        stride = self._workspace_stride
+        size = self._workspace_size
+        cursor = self._workspace_cursor
+        if self._span_charging and touches > 1 and 0 < stride < size:
+            base = self.workspace_base
+            remaining = touches
+            while remaining:
+                run = min(remaining, (size - cursor + stride - 1) // stride)
+                processor.data_read_strided(base + cursor, stride, run, 4)
+                cursor = (cursor + run * stride) % size
+                remaining -= run
+            self._workspace_cursor = cursor
+            return
+        for _ in range(touches):
+            processor.data_read(self.workspace_base + cursor, 4)
+            cursor = (cursor + stride) % size
+        self._workspace_cursor = cursor
 
     def _next_cold_lines(self, count: int) -> Tuple[int, ...]:
         base = self.layout.cold_pool_base
@@ -309,22 +399,30 @@ class ExecutionContext:
         of filtered-out rows.  On an NSM page the engine must still stride
         record by record, issuing one field-sized load per slot -- the
         layout, not the operator, determines the access pattern.
+
+        Under span charging (:attr:`charge_mode` ``"span"``) each
+        consecutive-slot run reaches the hardware as one bulk strided read;
+        ``per_address`` mode issues the very same element loads one at a
+        time.  Both produce identical hit/miss counts by construction.
         """
         if not slots:
             return []
-        if getattr(page, "columnar", False):
-            for run in _consecutive_runs(slots):
-                address, span_bytes = page.column_span(column, run)
-                self.processor.data_read_span(address, span_bytes, refs=len(run))
-            return page.column_values(column, slots)
         offset, width = layout.field_slice(column)
         processor = self.processor
-        out = []
-        for slot in slots:
-            processor.data_read(page.slot_address(slot) + offset, width)
-            data = bytes(page.record_view(slot)[:layout.packed_size])
-            out.append(layout.decode_column(data, column))
-        return out
+        if getattr(page, "columnar", False):
+            if self._span_charging:
+                for run in _consecutive_runs(slots):
+                    address, _span_bytes = page.column_span(column, run)
+                    processor.data_read_strided(address, width, len(run), width)
+            else:
+                for slot in slots:
+                    processor.data_read(page.field_address(slot, offset), width)
+            return page.column_values(column, slots)
+        self._charge_nsm_stride(page, slots, offset, width, layout.record_size)
+        packed = layout.packed_size
+        decode = layout.decode_column
+        return [decode(bytes(page.record_view(slot)[:packed]), column)
+                for slot in slots]
 
     def read_column_group_batch(self, page, layout: RecordLayout,
                                 slots: Sequence[int],
@@ -337,7 +435,9 @@ class ExecutionContext:
         systems on NSM pages sweep every record once per group (slot
         parsing / record copy) -- exactly the per-record traffic the tuple
         engine charges per ``read_fields`` call, so the engine switch does
-        not silently change a system's data-stall profile.
+        not silently change a system's data-stall profile.  Under span
+        charging the full-record sweep of a consecutive-slot run is one
+        contiguous bulk read.
         """
         if not slots or not columns:
             return {column: [] for column in columns}
@@ -345,14 +445,41 @@ class ExecutionContext:
                 or self.profile.record_access_style == ACCESS_FIELDS_ONLY):
             return {column: self.read_column_batch(page, layout, slots, column)
                     for column in columns}
-        processor = self.processor
+        record_size = layout.record_size
+        self._charge_nsm_stride(page, slots, 0, record_size, record_size)
+        packed = layout.packed_size
+        decode = layout.decode_column
         out: Dict[str, list] = {column: [] for column in columns}
         for slot in slots:
-            processor.data_read(page.slot_address(slot), layout.record_size)
-            data = bytes(page.record_view(slot)[:layout.packed_size])
+            data = bytes(page.record_view(slot)[:packed])
             for column in columns:
-                out[column].append(layout.decode_column(data, column))
+                out[column].append(decode(data, column))
         return out
+
+    def _charge_nsm_stride(self, page, slots: Sequence[int], offset: int,
+                           width: int, record_size: int) -> None:
+        """Charge one ``width``-byte load at ``offset`` into each slot's record.
+
+        Span mode presents each consecutive-slot run as one bulk read
+        strided by the (fixed) record size; the per-address mode -- and any
+        run whose records turn out not to be evenly spaced -- issues the
+        loads individually.
+        """
+        processor = self.processor
+        if self._span_charging:
+            for run in _consecutive_runs(slots):
+                base = page.slot_address(run[0])
+                count = len(run)
+                if count > 1 and (page.slot_address(run[-1]) - base
+                                  != (count - 1) * record_size):
+                    for slot in run:
+                        processor.data_read(page.slot_address(slot) + offset, width)
+                else:
+                    processor.data_read_strided(base + offset, record_size,
+                                                count, width)
+            return
+        for slot in slots:
+            processor.data_read(page.slot_address(slot) + offset, width)
 
     # ------------------------------------------------------------- workspace
     def allocate_workspace(self, size: int, alignment: int = 64) -> int:

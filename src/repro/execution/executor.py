@@ -10,53 +10,20 @@ results".
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from ..query.expressions import Aggregate
 from ..query.plans import (AggregatePlan, ExecutionConfig, HashJoinPlan,
                            IndexNestedLoopJoinPlan, IndexPointLookupPlan,
                            IndexRangeScanPlan, JoinPlan, NestedLoopJoinPlan,
                            PhysicalPlan, ScanPlan, SeqScanPlan, UpdatePlan)
-from ..storage.catalog import Catalog, Table
+from ..storage.catalog import Catalog
 from .context import ExecutionContext
 from .operators import (HashJoinOperator, IndexNestedLoopJoinOperator,
                         IndexPointLookupOperator, IndexRangeScanOperator,
                         NestedLoopJoinOperator, Operator, OperatorError, Row,
                         ScalarAggregateOperator, SeqScanOperator, row_value)
-
-
-class ExecutorError(RuntimeError):
-    """Raised when a plan cannot be instantiated against the catalog."""
-
-
-def _columns_for_table(table: Table, columns: Sequence[str]) -> Tuple[str, ...]:
-    """Subset of (possibly qualified) columns that belong to ``table``.
-
-    Qualified names are matched against the table: ``"S.a3"`` belongs to
-    table ``S`` only, even when another table also declares a column
-    ``a3``.  The caller's request order is preserved (first occurrence of a
-    duplicate wins), so the operator's output-column tuple is deterministic
-    for duplicate and mixed qualified/unqualified requests.
-    """
-    names = set(table.schema.column_names())
-    out: List[str] = []
-    seen = set()
-    for column in columns:
-        qualifier, _, short = column.rpartition(".")
-        if qualifier and qualifier != table.name:
-            continue
-        if short in names and short not in seen:
-            seen.add(short)
-            out.append(short)
-    return tuple(out)
-
-
-def _index_for(table: Table, column: str):
-    index = table.index_on(column.split(".")[-1])
-    if index is None:
-        raise ExecutorError(f"plan requires an index on {table.name}.{column} "
-                            f"but none exists")
-    return index
+from .resolve import ExecutorError, _columns_for_table, _index_for
 
 
 def build_scan(plan: ScanPlan, catalog: Catalog, ctx: ExecutionContext,
@@ -66,22 +33,22 @@ def build_scan(plan: ScanPlan, catalog: Catalog, ctx: ExecutionContext,
     if isinstance(plan, SeqScanPlan):
         table = catalog.table(plan.table)
         return SeqScanOperator(table, ctx, predicate=plan.predicate,
-                               output_columns=_columns_for_table(table, output_columns),
+                               output_columns=ctx.columns_for_table(table, output_columns),
                                next_operation=next_operation)
     if isinstance(plan, IndexRangeScanPlan):
         table = catalog.table(plan.table)
-        index = _index_for(table, plan.column)
+        index = ctx.index_for(table, plan.column)
         return IndexRangeScanOperator(table, index, ctx,
                                       low=plan.low, high=plan.high,
                                       include_low=plan.include_low,
                                       include_high=plan.include_high,
                                       residual_predicate=plan.residual_predicate,
-                                      output_columns=_columns_for_table(table, output_columns))
+                                      output_columns=ctx.columns_for_table(table, output_columns))
     if isinstance(plan, IndexPointLookupPlan):
         table = catalog.table(plan.table)
-        index = _index_for(table, plan.column)
+        index = ctx.index_for(table, plan.column)
         return IndexPointLookupOperator(table, index, ctx, value=plan.value,
-                                        output_columns=_columns_for_table(table, output_columns))
+                                        output_columns=ctx.columns_for_table(table, output_columns))
     raise ExecutorError(f"unknown scan plan {plan!r}")
 
 
@@ -112,10 +79,10 @@ def build_join(plan: JoinPlan, catalog: Catalog, ctx: ExecutionContext,
         outer_columns = list(output_columns) + [plan.outer_column]
         outer = build_scan(plan.outer, catalog, ctx, outer_columns)
         inner_table = catalog.table(plan.inner_table)
-        inner_index = _index_for(inner_table, plan.inner_column)
+        inner_index = ctx.index_for(inner_table, plan.inner_column)
         return IndexNestedLoopJoinOperator(outer, inner_table, inner_index,
                                            plan.outer_column, ctx,
-                                           inner_output_columns=_columns_for_table(
+                                           inner_output_columns=ctx.columns_for_table(
                                                inner_table, output_columns))
     raise ExecutorError(f"unknown join plan {plan!r}")
 

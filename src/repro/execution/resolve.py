@@ -1,0 +1,52 @@
+"""Catalog resolution helpers shared by both executors.
+
+Turning a plan node into an operator requires resolving (possibly
+qualified) output-column requests against a table's schema and locating
+the index a plan demands.  Both the tuple and the vectorized builders need
+these, and the vectorized engine re-instantiates inner operators once per
+outer *batch* (block nested-loop rescans), so the resolution results are
+also memoized per plan execution on the
+:class:`~repro.execution.context.ExecutionContext` -- this module holds the
+uncached logic so that :mod:`.executor`, :mod:`.vectorized` and
+:mod:`.context` can share it without an import cycle.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..storage.catalog import Table
+
+
+class ExecutorError(RuntimeError):
+    """Raised when a plan cannot be instantiated against the catalog."""
+
+
+def _columns_for_table(table: Table, columns: Sequence[str]) -> Tuple[str, ...]:
+    """Subset of (possibly qualified) columns that belong to ``table``.
+
+    Qualified names are matched against the table: ``"S.a3"`` belongs to
+    table ``S`` only, even when another table also declares a column
+    ``a3``.  The caller's request order is preserved (first occurrence of a
+    duplicate wins), so the operator's output-column tuple is deterministic
+    for duplicate and mixed qualified/unqualified requests.
+    """
+    names = set(table.schema.column_names())
+    out: List[str] = []
+    seen = set()
+    for column in columns:
+        qualifier, _, short = column.rpartition(".")
+        if qualifier and qualifier != table.name:
+            continue
+        if short in names and short not in seen:
+            seen.add(short)
+            out.append(short)
+    return tuple(out)
+
+
+def _index_for(table: Table, column: str):
+    index = table.index_on(column.split(".")[-1])
+    if index is None:
+        raise ExecutorError(f"plan requires an index on {table.name}.{column} "
+                            f"but none exists")
+    return index

@@ -1,4 +1,4 @@
-"""Vectorized (batch-at-a-time) physical operators.
+"""Vectorized (batch-at-a-time) physical operators over columnar batches.
 
 The paper finds that on a Pentium II Xeon the commercial engines spend most
 of a query not computing but stalling -- and that a large share of the
@@ -9,6 +9,16 @@ each executor routine.  The vectorized engine here is the classic remedy
 so each routine is entered once per batch and only its tight loop body runs
 per record.
 
+The unit of dataflow is the :class:`ColumnBatch` -- an ordered mapping of
+column name to value vector.  Scans read columns straight out of the page
+(one minipage span per column on PAX, one field stride per column on NSM)
+into vectors, filters compute selection index lists and gather, joins gather
+matching positions from both sides, and aggregates fold whole vectors.  Row
+dictionaries exist only at the result boundary
+(:meth:`VectorOperator.rows` / :func:`execute_plan_vectorized` late
+materialization), which is where the differential harness diffs them against
+the tuple engine.
+
 Design rules:
 
 * **Identical results.** Every operator reproduces the tuple engine's rows
@@ -16,15 +26,19 @@ Design rules:
   ``tests/test_vectorized_equivalence.py`` replays every plan shape under
   both engines and diffs the output.  Joins and aggregates therefore use
   exactly the same algorithms and fold orders as
-  :mod:`repro.execution.operators`.
+  :mod:`repro.execution.operators`, and the column order of a materialized
+  row reproduces the tuple engine's dict-merge order (left/build columns
+  first; shared names keep that position but carry the right/probe value).
 * **Amortised charging.** Routine costs go through
   :meth:`~repro.execution.context.ExecutionContext.visit_batch`: one full
   interpreted invocation per batch plus cheap loop-body iterations, which
   is where the computation, L1I-stall and branch savings come from.
 * **Layout-aware data access.** Column reads go through
-  :meth:`~repro.execution.context.ExecutionContext.read_column_batch`: on a
-  PAX page a batch of one column is a single contiguous span read; on an
-  NSM page the engine still strides record by record.
+  :meth:`~repro.execution.context.ExecutionContext.read_column_group_batch`:
+  on a PAX page a batch of one column is a contiguous span; on an NSM page
+  the engine still strides record by record.  Under the default span
+  charging both reach the simulated caches as bulk strided operations that
+  are count-identical to per-address probing (the simulation fast path).
 """
 
 from __future__ import annotations
@@ -39,11 +53,12 @@ from ..query.plans import (AggregatePlan, ExecutionConfig, HashJoinPlan,
                            PhysicalPlan, ScanPlan, SeqScanPlan, UpdatePlan)
 from ..storage.catalog import Catalog, Table
 from .context import ExecutionContext
-from .executor import ExecutorError, _columns_for_table, _index_for
-from .operators import HashJoinOperator, OperatorError, Row, row_value
+from .operators import HashJoinOperator, OperatorError, Row
+from .resolve import ExecutorError
 
 __all__ = [
-    "RowBatch", "VectorOperator", "VecSeqScanOperator", "VecFilterOperator",
+    "ColumnBatch", "merge_gather",
+    "VectorOperator", "VecSeqScanOperator", "VecFilterOperator",
     "VecIndexRangeScanOperator", "VecIndexPointLookupOperator",
     "VecHashJoinOperator", "VecNestedLoopJoinOperator",
     "VecIndexNestedLoopJoinOperator", "VecScalarAggregateOperator",
@@ -52,19 +67,85 @@ __all__ = [
 ]
 
 
-class RowBatch:
-    """One unit of vectorized dataflow: an ordered run of result rows."""
+class ColumnBatch:
+    """One unit of columnar dataflow: column name -> equal-length vectors.
 
-    __slots__ = ("rows",)
+    The mapping is insertion-ordered and that order is the batch's column
+    order: :meth:`to_rows` materializes dictionaries with exactly this key
+    order, so column order is stable end-to-end.  ``length`` is tracked
+    explicitly so projection-free batches (no columns requested) still know
+    how many rows they carry.
+    """
 
-    def __init__(self, rows: List[Row]) -> None:
-        self.rows = rows
+    __slots__ = ("columns", "length")
+
+    def __init__(self, columns: Dict[str, List], length: Optional[int] = None) -> None:
+        if length is None:
+            length = len(next(iter(columns.values()))) if columns else 0
+        for name, vector in columns.items():
+            if len(vector) != length:
+                raise OperatorError(
+                    f"column {name!r} has {len(vector)} values, expected {length}")
+        self.columns = columns
+        self.length = length
+
+    @classmethod
+    def empty(cls, column_names: Sequence[str] = ()) -> "ColumnBatch":
+        return cls({name: [] for name in column_names}, 0)
 
     def __len__(self) -> int:
-        return len(self.rows)
+        return self.length
 
-    def __iter__(self) -> Iterator[Row]:
-        return iter(self.rows)
+    def column_names(self) -> Tuple[str, ...]:
+        return tuple(self.columns)
+
+    def vector(self, column: str) -> List:
+        """Fetch a column vector, accepting qualified or unqualified names."""
+        columns = self.columns
+        if column in columns:
+            return columns[column]
+        short = column.split(".")[-1]
+        if short in columns:
+            return columns[short]
+        raise OperatorError(f"batch {sorted(columns)} has no column {column!r}")
+
+    def row(self, position: int) -> Row:
+        """Materialize one row dict (predicate evaluation, debugging)."""
+        return {name: vector[position] for name, vector in self.columns.items()}
+
+    def to_rows(self) -> List[Row]:
+        """Late materialization: the row dicts the tuple engine would yield."""
+        columns = self.columns
+        if not columns:
+            return [{} for _ in range(self.length)]
+        names = tuple(columns)
+        return [dict(zip(names, values)) for values in zip(*columns.values())]
+
+    def gather(self, positions: Sequence[int]) -> "ColumnBatch":
+        """New batch holding the given row positions (selection/compaction)."""
+        return ColumnBatch({name: [vector[i] for i in positions]
+                            for name, vector in self.columns.items()},
+                           len(positions))
+
+
+def merge_gather(left: ColumnBatch, left_positions: Sequence[int],
+                 right: ColumnBatch, right_positions: Sequence[int]) -> ColumnBatch:
+    """Columnar equivalent of ``dict(left_row); .update(right_row)`` per pair.
+
+    Output column order is the left batch's columns followed by the
+    right-only columns; a column present on both sides keeps the left
+    position but carries the *right* values -- exactly the dict-merge
+    semantics (and therefore duplicate-column behaviour) of the tuple
+    engine's join output.
+    """
+    if len(left_positions) != len(right_positions):
+        raise OperatorError("merge_gather requires position lists of equal length")
+    out: Dict[str, List] = {}
+    for name, vector in left.columns.items():
+        out[name] = [vector[i] for i in left_positions]
+    for name, vector in right.columns.items():
+        out[name] = [vector[i] for i in right_positions]
+    return ColumnBatch(out, len(left_positions))
 
 
 def _chunked(items: Sequence, size: int) -> Iterator[Sequence]:
@@ -72,27 +153,44 @@ def _chunked(items: Sequence, size: int) -> Iterator[Sequence]:
         yield items[start:start + size]
 
 
-class VectorOperator:
-    """Base class: an iterable of :class:`RowBatch` (and, flattened, rows)."""
+def _concat_batches(batches: Iterator[ColumnBatch]) -> ColumnBatch:
+    """Concatenate a stream of batches into one (build/inner-side caching)."""
+    columns: Dict[str, List] = {}
+    length = 0
+    for batch in batches:
+        if not len(batch):
+            continue
+        if not columns:
+            columns = {name: list(vector) for name, vector in batch.columns.items()}
+        else:
+            for name, vector in batch.columns.items():
+                columns[name].extend(vector)
+        length += len(batch)
+    return ColumnBatch(columns, length)
 
-    def batches(self) -> Iterator[RowBatch]:
+
+class VectorOperator:
+    """Base class: an iterable of :class:`ColumnBatch` (and, flattened, rows)."""
+
+    def batches(self) -> Iterator[ColumnBatch]:
         raise NotImplementedError
 
     def rows(self) -> Iterator[Row]:
+        """Late materialization to row dicts (the engine's result boundary)."""
         for batch in self.batches():
-            yield from batch.rows
+            yield from batch.to_rows()
 
     def __iter__(self) -> Iterator[Row]:
         return self.rows()
 
 
 class VecSeqScanOperator(VectorOperator):
-    """Batch sequential scan with a fused, mask-based filter.
+    """Columnar sequential scan with a fused, selection-vector filter.
 
     Each heap page is processed in slot chunks: one amortised
     ``scan_next`` invocation per chunk, column-at-a-time reads for the
-    predicate columns, a branch-free selection mask, then column reads for
-    the output columns of the qualifying rows only -- the late
+    predicate columns, a selection index list, then column reads for the
+    output columns of the qualifying slots only -- the late
     materialisation a vectorized engine does naturally.
     """
 
@@ -117,43 +215,44 @@ class VecSeqScanOperator(VectorOperator):
         self.extra_columns: Tuple[str, ...] = tuple(c for c in outputs
                                                     if c not in predicate_columns)
 
-    def batches(self) -> Iterator[RowBatch]:
+    def batches(self) -> Iterator[ColumnBatch]:
         ctx = self.ctx
         table = self.table
         layout = table.layout
         predicate = self.predicate
+        names = self.predicate_columns
         for page, slots in table.heap.scan_pages():
             ctx.visit("page_boundary")
             for chunk in _chunked(slots, self.batch_size):
                 count = len(chunk)
                 ctx.visit_batch(self.next_operation, count)
-                columns = ctx.read_column_group_batch(page, layout, chunk,
-                                                      self.predicate_columns)
-                rows: List[Row] = [
-                    {column: values[position] for column, values in columns.items()}
-                    for position in range(count)]
+                columns = ctx.read_column_group_batch(page, layout, chunk, names)
                 if predicate is not None:
-                    mask = [bool(predicate.evaluate(row)) for row in rows]
+                    mask = predicate.evaluate_batch(columns, count)
+                    selected = [position for position in range(count)
+                                if mask[position]]
                     ctx.visit_batch("predicate", count)
-                    selected = [position for position in range(count) if mask[position]]
+                    out_columns = {name: [vector[i] for i in selected]
+                                   for name, vector in columns.items()}
                 else:
-                    selected = list(range(count))
-                out_rows = [rows[position] for position in selected]
-                if self.extra_columns and selected:
-                    selected_slots = [chunk[position] for position in selected]
-                    extras = ctx.read_column_group_batch(page, layout, selected_slots,
-                                                         self.extra_columns)
-                    for column in self.extra_columns:
-                        for row, value in zip(out_rows, extras[column]):
-                            row[column] = value
-                ctx.row_produced(len(out_rows))
+                    selected = None
+                    # read_column_group_batch returns fresh vectors per
+                    # chunk, so they can be emitted (and extended) directly.
+                    out_columns = columns
+                out_count = count if selected is None else len(selected)
+                if self.extra_columns and out_count:
+                    selected_slots = (list(chunk) if selected is None
+                                      else [chunk[i] for i in selected])
+                    out_columns.update(ctx.read_column_group_batch(
+                        page, layout, selected_slots, self.extra_columns))
+                ctx.row_produced(out_count)
                 if self.count_records:
                     ctx.record_done(count)
-                yield RowBatch(out_rows)
+                yield ColumnBatch(out_columns, out_count)
 
 
 class VecFilterOperator(VectorOperator):
-    """Standalone batch filter (mask-and-compact over the child's batches).
+    """Standalone columnar filter (selection vector + gather).
 
     The scan fuses its own predicate; this operator exists for filters that
     cannot be pushed into an access path (e.g. post-join residuals) and for
@@ -166,18 +265,20 @@ class VecFilterOperator(VectorOperator):
         self.predicate = predicate
         self.ctx = ctx
 
-    def batches(self) -> Iterator[RowBatch]:
+    def batches(self) -> Iterator[ColumnBatch]:
         ctx = self.ctx
         predicate = self.predicate
         for batch in self.child.batches():
             if not len(batch):
                 yield batch
                 continue
-            mask = [bool(predicate.evaluate(row)) for row in batch.rows]
+            mask = predicate.evaluate_batch(batch.columns, len(batch))
+            selected = [position for position in range(len(batch))
+                        if mask[position]]
             ctx.visit_batch("predicate", len(batch))
-            kept = [row for row, keep in zip(batch.rows, mask) if keep]
+            kept = batch.gather(selected)
             ctx.row_produced(len(kept))
-            yield RowBatch(kept)
+            yield kept
 
 
 class VecIndexRangeScanOperator(VectorOperator):
@@ -209,7 +310,7 @@ class VecIndexRangeScanOperator(VectorOperator):
         self.fetch_columns: Tuple[str, ...] = tuple(
             dict.fromkeys(list(residual_columns) + outputs))
 
-    def batches(self) -> Iterator[RowBatch]:
+    def batches(self) -> Iterator[ColumnBatch]:
         ctx = self.ctx
         table = self.table
         layout = table.layout
@@ -226,26 +327,32 @@ class VecIndexRangeScanOperator(VectorOperator):
         matches = list(self.index.range_search(self.low, self.high,
                                                include_low=self.include_low,
                                                include_high=self.include_high))
+        residual = self.residual_predicate
         for chunk in _chunked(matches, self.batch_size):
             count = len(chunk)
             ctx.visit_batch("leaf_advance", count)
             for match in chunk:
                 ctx.read_address(match.entry_address, 16)
             ctx.visit_batch("rid_fetch", count)
-            rows: List[Row] = []
-            for match in chunk:
-                entry = table.heap.fetch(match.rid)
-                row: Row = {key_column: match.key}
-                if self.fetch_columns:
-                    row.update(ctx.read_fields(entry, layout, self.fetch_columns))
-                rows.append(row)
-            if self.residual_predicate is not None:
-                mask = [bool(self.residual_predicate.evaluate(row)) for row in rows]
+            columns: Dict[str, List] = {key_column: [match.key for match in chunk]}
+            if self.fetch_columns:
+                vectors: Dict[str, List] = {name: [] for name in self.fetch_columns}
+                for match in chunk:
+                    entry = table.heap.fetch(match.rid)
+                    fields = ctx.read_fields(entry, layout, self.fetch_columns)
+                    for name in self.fetch_columns:
+                        vectors[name].append(fields[name])
+                columns.update(vectors)
+            batch = ColumnBatch(columns, count)
+            if residual is not None:
+                mask = residual.evaluate_batch(batch.columns, count)
+                selected = [position for position in range(count)
+                            if mask[position]]
                 ctx.visit_batch("predicate", count)
-                rows = [row for row, keep in zip(rows, mask) if keep]
-            ctx.row_produced(len(rows))
+                batch = batch.gather(selected)
+            ctx.row_produced(len(batch))
             ctx.record_done(count)
-            yield RowBatch(rows)
+            yield batch
 
 
 class VecIndexPointLookupOperator(VectorOperator):
@@ -261,7 +368,7 @@ class VecIndexPointLookupOperator(VectorOperator):
         self.batch_size = batch_size
         self.output_columns = tuple(sorted({c.split(".")[-1] for c in output_columns}))
 
-    def batches(self) -> Iterator[RowBatch]:
+    def batches(self) -> Iterator[ColumnBatch]:
         ctx = self.ctx
         layout = self.table.layout
         steps = list(self.index.descend(self.value))
@@ -271,27 +378,32 @@ class VecIndexPointLookupOperator(VectorOperator):
             ctx.read_address(step.entry_address, 16)
         matches = list(self.index.range_search(self.value, self.value,
                                                include_low=True, include_high=True))
-        columns = self.output_columns or self.table.schema.column_names()
+        columns = tuple(self.output_columns or self.table.schema.column_names())
         for chunk in _chunked(matches, self.batch_size):
             count = len(chunk)
             ctx.visit_batch("leaf_advance", count)
             for match in chunk:
                 ctx.read_address(match.entry_address, 16)
             ctx.visit_batch("rid_fetch", count)
-            rows: List[Row] = []
+            vectors: Dict[str, List] = {name: [] for name in columns}
+            rids: List = []
             for match in chunk:
                 entry = self.table.heap.fetch(match.rid)
-                row: Row = {}
-                row.update(ctx.read_fields(entry, layout, columns))
-                row["__rid__"] = match.rid
-                rows.append(row)
-            ctx.row_produced(len(rows))
-            yield RowBatch(rows)
+                fields = ctx.read_fields(entry, layout, columns)
+                for name in columns:
+                    vectors[name].append(fields[name])
+                rids.append(match.rid)
+            vectors["__rid__"] = rids
+            ctx.row_produced(count)
+            yield ColumnBatch(vectors, count)
         ctx.record_done()
 
 
 class VecHashJoinOperator(VectorOperator):
-    """Batch hash join: batched build, batched probe, same row order as tuple."""
+    """Columnar hash join: the build side is concatenated into one columnar
+    block whose hash table maps key -> row positions; each probe batch turns
+    into a pair of gather lists, so the joined batch is assembled column by
+    column with the tuple engine's probe-major output order."""
 
     ENTRY_BYTES = HashJoinOperator.ENTRY_BYTES
 
@@ -309,47 +421,55 @@ class VecHashJoinOperator(VectorOperator):
         self.ctx = ctx
         self.build_row_estimate = max(build_row_estimate, 16)
 
-    def batches(self) -> Iterator[RowBatch]:
+    def batches(self) -> Iterator[ColumnBatch]:
         ctx = self.ctx
         hash_area = ctx.allocate_workspace(self.build_row_estimate * self.ENTRY_BYTES)
         buckets = self.build_row_estimate
+        entry_bytes = self.ENTRY_BYTES
 
-        hash_table: Dict[object, List[Row]] = {}
+        build_columns: Dict[str, List] = {}
+        build_count = 0
+        hash_table: Dict[object, List[int]] = {}
         for batch in self.build.batches():
             if not len(batch):
                 continue
             ctx.visit_batch("hash_build", len(batch))
-            for row in batch:
-                key = row_value(row, self.build_column)
-                bucket_address = hash_area + (hash(key) % buckets) * self.ENTRY_BYTES
-                ctx.write_address(bucket_address, self.ENTRY_BYTES)
-                hash_table.setdefault(key, []).append(row)
+            if not build_columns:
+                build_columns = {name: list(vector)
+                                 for name, vector in batch.columns.items()}
+            else:
+                for name, vector in batch.columns.items():
+                    build_columns[name].extend(vector)
+            for key in batch.vector(self.build_column):
+                bucket_address = hash_area + (hash(key) % buckets) * entry_bytes
+                ctx.write_address(bucket_address, entry_bytes)
+                hash_table.setdefault(key, []).append(build_count)
+                build_count += 1
+        build_block = ColumnBatch(build_columns, build_count)
 
         for batch in self.probe.batches():
             if not len(batch):
                 continue
             ctx.visit_batch("hash_probe", len(batch))
-            joined: List[Row] = []
-            for row in batch:
-                key = row_value(row, self.probe_column)
-                bucket_address = hash_area + (hash(key) % buckets) * self.ENTRY_BYTES
-                ctx.read_address(bucket_address, self.ENTRY_BYTES)
+            build_positions: List[int] = []
+            probe_positions: List[int] = []
+            for position, key in enumerate(batch.vector(self.probe_column)):
+                bucket_address = hash_area + (hash(key) % buckets) * entry_bytes
+                ctx.read_address(bucket_address, entry_bytes)
                 matches = hash_table.get(key)
                 if not matches:
                     continue
-                for build_row in matches:
-                    out = dict(build_row)
-                    out.update(row)
-                    joined.append(out)
-            ctx.visit_batch("join_output", len(joined))
-            ctx.row_produced(len(joined))
-            yield RowBatch(joined)
+                build_positions.extend(matches)
+                probe_positions.extend([position] * len(matches))
+            ctx.visit_batch("join_output", len(build_positions))
+            ctx.row_produced(len(build_positions))
+            yield merge_gather(build_block, build_positions, batch, probe_positions)
 
 
 class VecNestedLoopJoinOperator(VectorOperator):
-    """Block nested-loop join: the inner input is rescanned once per outer
-    *batch* instead of once per outer *row*, while preserving the tuple
-    engine's outer-major output order."""
+    """Block nested-loop join: the inner input is rescanned (and cached as
+    one columnar block) once per outer *batch* instead of once per outer
+    *row*, while preserving the tuple engine's outer-major output order."""
 
     def __init__(self,
                  outer: VectorOperator,
@@ -363,28 +483,30 @@ class VecNestedLoopJoinOperator(VectorOperator):
         self.inner_column = inner_column.split(".")[-1]
         self.ctx = ctx
 
-    def batches(self) -> Iterator[RowBatch]:
+    def batches(self) -> Iterator[ColumnBatch]:
         ctx = self.ctx
         for outer_batch in self.outer.batches():
             if not len(outer_batch):
                 continue
-            inner_rows: List[Tuple[object, Row]] = [
-                (row_value(row, self.inner_column), row)
-                for row in self.inner_factory().rows()]
-            joined: List[Row] = []
-            for outer_row in outer_batch:
-                outer_key = row_value(outer_row, self.outer_column)
+            inner_block = _concat_batches(self.inner_factory().batches())
+            inner_keys = (inner_block.vector(self.inner_column)
+                          if len(inner_block) else [])
+            inner_count = len(inner_block)
+            inner_positions: List[int] = []
+            outer_positions: List[int] = []
+            for outer_position, outer_key in enumerate(
+                    outer_batch.vector(self.outer_column)):
                 # The match tests against the cached block are the join's
                 # per-record work; one amortised invocation covers them all.
-                ctx.visit_batch("inner_scan_next", len(inner_rows))
-                for inner_key, inner_row in inner_rows:
+                ctx.visit_batch("inner_scan_next", inner_count)
+                for inner_position, inner_key in enumerate(inner_keys):
                     if inner_key == outer_key:
-                        out = dict(inner_row)
-                        out.update(outer_row)
-                        joined.append(out)
-            ctx.visit_batch("join_output", len(joined))
-            ctx.row_produced(len(joined))
-            yield RowBatch(joined)
+                        inner_positions.append(inner_position)
+                        outer_positions.append(outer_position)
+            ctx.visit_batch("join_output", len(inner_positions))
+            ctx.row_produced(len(inner_positions))
+            yield merge_gather(inner_block, inner_positions,
+                               outer_batch, outer_positions)
 
 
 class VecIndexNestedLoopJoinOperator(VectorOperator):
@@ -406,18 +528,20 @@ class VecIndexNestedLoopJoinOperator(VectorOperator):
                                                   for c in inner_output_columns}))
         self.ctx = ctx
 
-    def batches(self) -> Iterator[RowBatch]:
+    def batches(self) -> Iterator[ColumnBatch]:
         ctx = self.ctx
         layout = self.inner_table.layout
+        inner_names = self.inner_output_columns
         for outer_batch in self.outer.batches():
             if not len(outer_batch):
                 continue
             descend_steps = 0
             leaf_advances = 0
             rid_fetches = 0
-            joined: List[Row] = []
-            for outer_row in outer_batch:
-                key = row_value(outer_row, self.outer_column)
+            outer_positions: List[int] = []
+            inner_vectors: Dict[str, List] = {name: [] for name in inner_names}
+            for outer_position, key in enumerate(
+                    outer_batch.vector(self.outer_column)):
                 for step in self.inner_index.descend(key):
                     descend_steps += 1
                     ctx.read_address(step.node_address, 8)
@@ -431,25 +555,28 @@ class VecIndexNestedLoopJoinOperator(VectorOperator):
                     ctx.read_address(match.entry_address, 16)
                     rid_fetches += 1
                     entry = self.inner_table.heap.fetch(match.rid)
-                    out = dict(outer_row)
-                    if self.inner_output_columns:
-                        out.update(ctx.read_fields(entry, layout,
-                                                   self.inner_output_columns))
-                    joined.append(out)
+                    outer_positions.append(outer_position)
+                    if inner_names:
+                        fields = ctx.read_fields(entry, layout, inner_names)
+                        for name in inner_names:
+                            inner_vectors[name].append(fields[name])
                 if not matched:
                     leaf_advances += 1
             ctx.visit_batch("index_descend_node", descend_steps)
             ctx.visit_batch("leaf_advance", leaf_advances)
             ctx.visit_batch("rid_fetch", rid_fetches)
-            ctx.visit_batch("join_output", len(joined))
-            ctx.row_produced(len(joined))
-            yield RowBatch(joined)
+            ctx.visit_batch("join_output", len(outer_positions))
+            ctx.row_produced(len(outer_positions))
+            joined_count = len(outer_positions)
+            yield merge_gather(outer_batch, outer_positions,
+                               ColumnBatch(inner_vectors, joined_count),
+                               range(joined_count))
 
 
 class VecScalarAggregateOperator(VectorOperator):
-    """Batch scalar aggregation: the accumulators are loaded and stored once
-    per batch (they live in registers across the loop) and updated in the
-    child's row order, so results are bit-identical to the tuple engine."""
+    """Columnar scalar aggregation: each accumulator folds a whole column
+    vector per batch (loaded and stored once around the loop) in the child's
+    row order, so results are bit-identical to the tuple engine."""
 
     STATE_BYTES = 32
 
@@ -461,23 +588,28 @@ class VecScalarAggregateOperator(VectorOperator):
         self.aggregates = tuple(aggregates)
         self.ctx = ctx
 
-    def batches(self) -> Iterator[RowBatch]:
+    def batches(self) -> Iterator[ColumnBatch]:
         ctx = self.ctx
         state_base = ctx.allocate_workspace(len(self.aggregates) * self.STATE_BYTES)
         states = [AggregateState(agg) for agg in self.aggregates]
         for batch in self.child.batches():
-            if not len(batch):
+            count = len(batch)
+            if not count:
                 continue
-            ctx.visit_batch("agg_update", len(batch))
+            ctx.visit_batch("agg_update", count)
             for position, (agg, state) in enumerate(zip(self.aggregates, states)):
                 address = state_base + position * self.STATE_BYTES
                 ctx.read_address(address, 8)
-                for row in batch:
-                    value = None if agg.column is None else row_value(row, agg.column)
-                    state.update(value if agg.column is not None else 1)
+                update = state.update
+                if agg.column is None:
+                    for _ in range(count):
+                        update(1)
+                else:
+                    for value in batch.vector(agg.column):
+                        update(value)
                 ctx.write_address(address, 8)
-        yield RowBatch([{agg.label: state.result()
-                         for agg, state in zip(self.aggregates, states)}])
+        yield ColumnBatch({agg.label: [state.result()]
+                           for agg, state in zip(self.aggregates, states)}, 1)
 
 
 # ---------------------------------------------------------------------------
@@ -491,24 +623,24 @@ def build_vectorized_scan(plan: ScanPlan, catalog: Catalog, ctx: ExecutionContex
     if isinstance(plan, SeqScanPlan):
         table = catalog.table(plan.table)
         return VecSeqScanOperator(table, ctx, predicate=plan.predicate,
-                                  output_columns=_columns_for_table(table, output_columns),
+                                  output_columns=ctx.columns_for_table(table, output_columns),
                                   next_operation=next_operation,
                                   batch_size=batch_size)
     if isinstance(plan, IndexRangeScanPlan):
         table = catalog.table(plan.table)
-        index = _index_for(table, plan.column)
+        index = ctx.index_for(table, plan.column)
         return VecIndexRangeScanOperator(
             table, index, ctx, low=plan.low, high=plan.high,
             include_low=plan.include_low, include_high=plan.include_high,
             residual_predicate=plan.residual_predicate,
-            output_columns=_columns_for_table(table, output_columns),
+            output_columns=ctx.columns_for_table(table, output_columns),
             batch_size=batch_size)
     if isinstance(plan, IndexPointLookupPlan):
         table = catalog.table(plan.table)
-        index = _index_for(table, plan.column)
+        index = ctx.index_for(table, plan.column)
         return VecIndexPointLookupOperator(
             table, index, ctx, value=plan.value,
-            output_columns=_columns_for_table(table, output_columns),
+            output_columns=ctx.columns_for_table(table, output_columns),
             batch_size=batch_size)
     raise ExecutorError(f"unknown scan plan {plan!r}")
 
@@ -546,10 +678,10 @@ def build_vectorized_join(plan: JoinPlan, catalog: Catalog, ctx: ExecutionContex
         outer = build_vectorized_scan(plan.outer, catalog, ctx, outer_columns,
                                       batch_size=batch_size)
         inner_table = catalog.table(plan.inner_table)
-        inner_index = _index_for(inner_table, plan.inner_column)
+        inner_index = ctx.index_for(inner_table, plan.inner_column)
         return VecIndexNestedLoopJoinOperator(
             outer, inner_table, inner_index, plan.outer_column, ctx,
-            inner_output_columns=_columns_for_table(inner_table, output_columns))
+            inner_output_columns=ctx.columns_for_table(inner_table, output_columns))
     raise ExecutorError(f"unknown join plan {plan!r}")
 
 
@@ -581,9 +713,11 @@ def execute_plan_vectorized(plan: PhysicalPlan, catalog: Catalog,
                             execution: Optional[ExecutionConfig] = None) -> List[Row]:
     """Execute a read-only plan batch-at-a-time and return its result rows.
 
-    Charges the same single ``query_setup`` as the tuple engine -- parsing
-    and optimisation are per query, not per engine -- so the differential
-    harness can assert identical setup counts.
+    Dataflow is columnar end-to-end; rows are materialized only here, at
+    the session result boundary, so the differential harness still sees
+    byte-identical row dicts.  Charges the same single ``query_setup`` as
+    the tuple engine -- parsing and optimisation are per query, not per
+    engine -- so the harness can also assert identical setup counts.
     """
     batch_size = execution.batch_size if execution is not None else 256
     ctx.visit("query_setup")

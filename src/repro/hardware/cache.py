@@ -17,7 +17,17 @@ The model implements:
 * write-back dirty-line accounting (write-backs contribute to bandwidth, not
   latency, matching the latency-bound observation of Section 5.2.1),
 * selective invalidation, used by the OS-interference model to evict
-  instruction lines on simulated context switches.
+  instruction lines on simulated context switches,
+* a *span-charging fast path* for the vectorized engine's columnar
+  dataflow: :meth:`Cache.access_strided` / :meth:`Cache.access_lines` charge
+  a whole column-vector (or code-path) touch as one bulk operation -- the
+  per-set LRU updates still happen line by line, in ascending address
+  order, but the hit bookkeeping and the :class:`CacheStats` counters are
+  applied once per call (:meth:`CacheStats.add_bulk`) instead of once per
+  address.  The bulk paths are *count-identical* to issuing the element
+  accesses one at a time (the differential harness in
+  ``tests/test_vectorized_equivalence.py`` asserts this on every plan
+  shape); they only remove simulator overhead, never modelled events.
 """
 
 from __future__ import annotations
@@ -69,6 +79,18 @@ class CacheStats:
     def instruction_misses(self) -> int:
         return self.misses[PORT_INSTRUCTION]
 
+    def add_bulk(self, port: int, accesses: int, misses: int = 0) -> None:
+        """Fold a batch of accesses/misses into one counter update.
+
+        The span-charging fast path accumulates its per-line outcomes in
+        local variables and applies them here once per bulk call, which is
+        where most of the simulator-side win over per-address probing comes
+        from.
+        """
+        self.accesses[port] += accesses
+        if misses:
+            self.misses[port] += misses
+
     def miss_rate(self, port: Optional[int] = None) -> float:
         """Miss ratio overall or for a specific port (0.0 when unused)."""
         if port is None:
@@ -104,7 +126,7 @@ class Cache:
     """
 
     __slots__ = ("spec", "name", "_sets", "_dirty", "_line_shift", "_set_mask", "stats",
-                 "next_level")
+                 "next_level", "_assoc", "_write_back")
 
     def __init__(self, spec: CacheSpec, next_level: Optional["Cache"] = None) -> None:
         self.spec = spec
@@ -112,6 +134,8 @@ class Cache:
         self.next_level = next_level
         self._line_shift = spec.line_bytes.bit_length() - 1
         self._set_mask = spec.num_sets - 1
+        self._assoc = spec.associativity
+        self._write_back = spec.write_back
         # Each set: list of tags, index 0 == MRU.
         self._sets: List[List[int]] = [[] for _ in range(spec.num_sets)]
         # Dirty tags per set (write-back bookkeeping).
@@ -155,17 +179,216 @@ class Cache:
         element accesses the loop issues (defaults to one per cache line);
         the accesses land sequentially, so each line is looked up once and
         the remaining ``refs - lines`` accesses are line hits by
-        construction.  Misses are still counted (and forwarded) per line,
-        which keeps the miss counters identical to issuing the element loads
-        one by one while recording the true access count.
+        construction.  When the element geometry is known, prefer
+        :meth:`access_strided` (with ``stride == size_per_element``), which
+        is additionally *count-identical* to the per-address loop even for
+        elements that straddle line boundaries.
         """
-        lines = self.lines_spanned(addr, size)
-        misses = 0
-        for line in lines:
-            misses += self._access_line(line, port, write)
-        if refs is not None and refs > len(lines):
-            self.stats.accesses[port] += refs - len(lines)
+        first = addr >> self._line_shift
+        last = (addr + max(size, 1) - 1) >> self._line_shift
+        n_lines = last - first + 1
+        misses = self._walk_lines(first, last, port, write)
+        self.stats.add_bulk(port, max(refs or 0, n_lines), misses)
         return misses
+
+    def access_strided(self, addr: int, stride: int, count: int, size: int,
+                       port: int, write: bool = False) -> int:
+        """Bulk access to ``count`` elements of ``size`` bytes, ``stride``
+        bytes apart, starting at ``addr`` (the span-charging fast path).
+
+        Produces exactly the hit/miss counts, LRU evolution, write-back and
+        next-level traffic of calling :meth:`access` once per element in
+        ascending order -- contiguous column vectors are the ``stride ==
+        size`` special case, NSM field strides and workspace churn use wider
+        strides -- while updating the statistics once per call.
+        """
+        if count <= 0:
+            return 0
+        shift = self._line_shift
+        set_mask = self._set_mask
+        sets = self._sets
+        dirty = self._dirty
+        assoc = self._assoc
+        next_level = self.next_level
+        next_port = PORT_INSTRUCTION if port == PORT_INSTRUCTION else PORT_DATA_READ
+        next_sets = next_level._sets if next_level is not None else None
+        next_mask = next_level._set_mask if next_level is not None else 0
+        next_forwarded = 0
+        span = max(size, 1) - 1
+        accesses = 0
+        misses = 0
+        element = addr
+        for _ in range(count):
+            first = element >> shift
+            last = (element + span) >> shift
+            element += stride
+            if first == last:
+                # Common case: the element lives in one line.
+                accesses += 1
+                set_index = first & set_mask
+                ways = sets[set_index]
+                if first in ways:
+                    if ways[0] != first:
+                        ways.remove(first)
+                        ways.insert(0, first)
+                    if write:
+                        dirty[set_index].add(first)
+                    continue
+                misses += 1
+                # Dominant miss outcome inlined: clean read miss that hits
+                # the next level; everything else (writes, next-level
+                # misses, dirty victims' write-backs) falls back to the
+                # shared state machine.  This body is deliberately
+                # duplicated in :meth:`access_lines` (a shared helper would
+                # reintroduce the per-line call the fast path removes) --
+                # any change here must be mirrored there and in
+                # :meth:`_miss_line`, and is guarded by the charge-mode
+                # differential tests.
+                if next_level is not None and not write:
+                    next_ways = next_sets[first & next_mask]
+                    if first in next_ways:
+                        if next_ways[0] != first:
+                            next_ways.remove(first)
+                            next_ways.insert(0, first)
+                        next_forwarded += 1
+                        if len(ways) >= assoc:
+                            victim = ways.pop()
+                            dirty_set = dirty[set_index]
+                            if victim in dirty_set:
+                                dirty_set.discard(victim)
+                                self.stats.writebacks += 1
+                                next_level._access_line(victim, PORT_DATA_WRITE, True)
+                        ways.insert(0, first)
+                        continue
+                self._miss_line(first, port, write)
+            else:
+                accesses += last - first + 1
+                misses += self._walk_lines(first, last, port, write)
+        if next_forwarded and next_level is not None:
+            next_level.stats.add_bulk(next_port, next_forwarded)
+        self.stats.add_bulk(port, accesses, misses)
+        return misses
+
+    def access_lines(self, line_addresses: Iterable[int], port: int,
+                     write: bool = False) -> int:
+        """Bulk access to already line-aligned addresses (code-path fetches).
+
+        Equivalent to calling :meth:`access_line` per address in order, with
+        the statistics applied once -- the instruction side of the fast
+        path.
+        """
+        shift = self._line_shift
+        set_mask = self._set_mask
+        sets = self._sets
+        dirty = self._dirty
+        assoc = self._assoc
+        next_level = self.next_level
+        next_port = PORT_INSTRUCTION if port == PORT_INSTRUCTION else PORT_DATA_READ
+        next_sets = next_level._sets if next_level is not None else None
+        next_mask = next_level._set_mask if next_level is not None else 0
+        next_forwarded = 0
+        accesses = 0
+        misses = 0
+        for line_addr in line_addresses:
+            line = line_addr >> shift
+            accesses += 1
+            set_index = line & set_mask
+            ways = sets[set_index]
+            if line in ways:
+                if ways[0] != line:
+                    ways.remove(line)
+                    ways.insert(0, line)
+                if write:
+                    dirty[set_index].add(line)
+                continue
+            misses += 1
+            # Same inlined clean-miss/next-level-hit fast path as
+            # :meth:`access_strided` (cold-code fetches miss the L1I and hit
+            # the L2 on nearly every visit).
+            if next_level is not None and not write:
+                next_ways = next_sets[line & next_mask]
+                if line in next_ways:
+                    if next_ways[0] != line:
+                        next_ways.remove(line)
+                        next_ways.insert(0, line)
+                    next_forwarded += 1
+                    if len(ways) >= assoc:
+                        victim = ways.pop()
+                        dirty_set = dirty[set_index]
+                        if victim in dirty_set:
+                            dirty_set.discard(victim)
+                            self.stats.writebacks += 1
+                            next_level._access_line(victim, PORT_DATA_WRITE, True)
+                    ways.insert(0, line)
+                    continue
+            self._miss_line(line, port, write)
+        if next_forwarded and next_level is not None:
+            next_level.stats.add_bulk(next_port, next_forwarded)
+        self.stats.add_bulk(port, accesses, misses)
+        return misses
+
+    def _walk_lines(self, first: int, last: int, port: int, write: bool) -> int:
+        """Touch lines ``first..last`` in order without counting statistics."""
+        set_mask = self._set_mask
+        sets = self._sets
+        misses = 0
+        for line in range(first, last + 1):
+            ways = sets[line & set_mask]
+            if line in ways:
+                if ways[0] != line:
+                    ways.remove(line)
+                    ways.insert(0, line)
+                if write:
+                    self._dirty[line & set_mask].add(line)
+            else:
+                misses += 1
+                self._miss_line(line, port, write)
+        return misses
+
+    def _miss_line(self, line_number: int, port: int, write: bool) -> None:
+        """Statistics-free miss handling shared by every access path.
+
+        This is the per-miss state machine (next-level fill request, victim
+        selection, write-back bookkeeping) with the next level's *hit* case
+        inlined -- an L1 miss that hits the L2 is by far the most common
+        miss outcome, and this is the simulator's hottest path.
+        """
+        next_level = self.next_level
+        if next_level is not None:
+            # Fill request: a read regardless of the original direction
+            # (write-allocate); instruction fills keep the instruction port
+            # so the unified L2 separates TL2D from TL2I.
+            next_port = PORT_INSTRUCTION if port == PORT_INSTRUCTION else PORT_DATA_READ
+            next_stats = next_level.stats
+            next_stats.accesses[next_port] += 1
+            next_ways = next_level._sets[line_number & next_level._set_mask]
+            if line_number in next_ways:
+                if next_ways[0] != line_number:
+                    next_ways.remove(line_number)
+                    next_ways.insert(0, line_number)
+            else:
+                next_stats.misses[next_port] += 1
+                next_level._miss_line(line_number, next_port, False)
+        # Victim selection and fill (the former ``_fill``).
+        set_index = line_number & self._set_mask
+        ways = self._sets[set_index]
+        if len(ways) >= self._assoc:
+            victim = ways.pop()
+            dirty_set = self._dirty[set_index]
+            if victim in dirty_set:
+                dirty_set.discard(victim)
+                self.stats.writebacks += 1
+                if next_level is not None:
+                    # The write-back installs the line in the next level.
+                    next_level._access_line(victim, PORT_DATA_WRITE, True)
+        ways.insert(0, line_number)
+        if write:
+            if self._write_back:
+                self._dirty[set_index].add(line_number)
+            elif next_level is not None:
+                # Write-through: the write is also forwarded (counted as
+                # traffic only; latency is hidden by the write buffer).
+                next_level._access_line(line_number, PORT_DATA_WRITE, True)
 
     # ----------------------------------------------------------- internals
     def _access_line(self, line_number: int, port: int, write: bool) -> int:
@@ -183,37 +406,15 @@ class Cache:
                 self._dirty[set_index].add(tag)
             return 0
 
-        # Miss.
+        # Miss.  The fill request to the next level is a read regardless of
+        # the original port's direction (write-allocate), but instruction
+        # fills keep the instruction port so the unified L2 can separate
+        # TL2D from TL2I; write-through caches additionally forward the
+        # write itself (counted as traffic only; latency is hidden by the
+        # write buffer).
         stats.misses[port] += 1
-        if self.next_level is not None:
-            # A fill request to the next level is a read regardless of the
-            # original port's direction (write-allocate), but instruction
-            # fills keep the instruction port so the unified L2 can separate
-            # TL2D from TL2I.
-            next_port = PORT_INSTRUCTION if port == PORT_INSTRUCTION else PORT_DATA_READ
-            self.next_level._access_line(line_number, next_port, False)
-        self._fill(set_index, tag, dirty=write and self.spec.write_back)
-        if write and not self.spec.write_back:
-            # Write-through: the write is also forwarded (counted as traffic
-            # only; latency is hidden by the write buffer).
-            if self.next_level is not None:
-                self.next_level._access_line(line_number, PORT_DATA_WRITE, True)
+        self._miss_line(line_number, port, write)
         return 1
-
-    def _fill(self, set_index: int, tag: int, dirty: bool) -> None:
-        ways = self._sets[set_index]
-        if len(ways) >= self.spec.associativity:
-            victim = ways.pop()
-            dirty_set = self._dirty[set_index]
-            if victim in dirty_set:
-                dirty_set.discard(victim)
-                self.stats.writebacks += 1
-                if self.next_level is not None:
-                    # The write-back installs the line in the next level.
-                    self.next_level._access_line(victim, PORT_DATA_WRITE, True)
-        ways.insert(0, tag)
-        if dirty:
-            self._dirty[set_index].add(tag)
 
     # ------------------------------------------------------------ contents
     def contains(self, addr: int) -> bool:
@@ -347,10 +548,23 @@ class CacheHierarchy:
         """Streaming data read of a contiguous span (vectorized column batch)."""
         return self.l1d.access_span(addr, size, PORT_DATA_READ, refs=refs)
 
+    def read_strided(self, addr: int, stride: int, count: int, size: int) -> int:
+        """Bulk data read of ``count`` ``size``-byte elements ``stride`` apart.
+
+        Count-identical to ``count`` individual :meth:`read` calls in
+        ascending order; this is the data side of the span-charging fast
+        path (contiguous column vectors use ``stride == size``).
+        """
+        return self.l1d.access_strided(addr, stride, count, size, PORT_DATA_READ)
+
     # Instruction side ------------------------------------------------------
     def fetch(self, line_addr: int) -> int:
         """Instruction fetch of one line; returns 1 on an L1I miss else 0."""
         return self.l1i.access_line(line_addr, PORT_INSTRUCTION)
+
+    def fetch_lines(self, line_addresses: Iterable[int]) -> int:
+        """Bulk instruction fetch; count-identical to per-line :meth:`fetch`."""
+        return self.l1i.access_lines(line_addresses, PORT_INSTRUCTION)
 
     # Statistics ------------------------------------------------------------
     def snapshot(self) -> HierarchyStats:

@@ -97,9 +97,16 @@ class EventCounters:
     # --------------------------------------------------------------- update
     def add(self, event: str, count: int = 1, mode: str = MODE_USER) -> None:
         """Increment ``event`` by ``count`` in the given mode."""
-        _check_event(event)
-        _check_mode(mode)
-        bank = self.user if mode == MODE_USER else self.sup
+        # Validation is inlined: this is called once per simulated event
+        # group and sits on the simulator's hottest path.
+        if event not in EVENT_DESCRIPTIONS:
+            raise UnknownEventError(f"unknown hardware event: {event!r}")
+        if mode == MODE_USER:
+            bank = self.user
+        elif mode == MODE_SUP:
+            bank = self.sup
+        else:
+            raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
         bank[event] = bank.get(event, 0) + count
 
     # ---------------------------------------------------------------- reads

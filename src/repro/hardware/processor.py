@@ -9,6 +9,9 @@ records:
 * :meth:`fetch_code` -- instruction-cache line fetches for a code path,
 * :meth:`retire` -- retired instruction / micro-operation accounting,
 * :meth:`data_read` / :meth:`data_write` -- simulated loads and stores,
+* :meth:`data_read_strided` / :meth:`data_read_span` -- bulk element loads
+  (the span-charging fast path for columnar batches: count-identical to
+  per-address :meth:`data_read` calls, several times cheaper to simulate),
 * :meth:`count_data_refs` -- bulk accounting for references that stay in L1D,
 * :meth:`branch` / :meth:`count_branches` -- dynamic branch sites and the bulk
   branch population they represent,
@@ -29,7 +32,7 @@ from typing import Iterable, Optional, Sequence
 
 from .branch import BranchPredictor
 from .cache import CacheHierarchy
-from .counters import EventCounters, MODE_SUP, MODE_USER
+from .counters import EventCounters, MODE_SUP, MODE_USER, MODES
 from .memory import MainMemory
 from .os_interference import OSInterference, OSInterferenceConfig
 from .pipeline import CycleBreakdown, CycleModel, OverlapModel
@@ -74,33 +77,38 @@ class SimulatedProcessor:
         itlb = self.itlb
         page_shift = itlb._page_shift
         last_page = self._last_instruction_page
-        l1i_misses = 0
         itlb_misses = 0
         l2 = caches.l2
         l2i_misses_before = l2.stats.misses[2]
 
-        fetch = caches.fetch
+        # The ITLB is consulted only when the fetch stream changes page; the
+        # line fetches themselves go to the L1I in one bulk call (the
+        # instruction side of the span-charging fast path -- count-identical
+        # to fetching line by line).
         for line_addr in line_addresses:
             page = line_addr >> page_shift
             if page != last_page:
                 itlb_misses += itlb.access(line_addr)
                 last_page = page
-            l1i_misses += fetch(line_addr)
         self._last_instruction_page = last_page
+        l1i_misses = caches.fetch_lines(line_addresses)
 
         l2i_misses = l2.stats.misses[2] - l2i_misses_before
         n_lines = len(line_addresses)
-        counters.add("IFU_IFETCH", n_lines)
+        # Counter-bank updates are inlined (bypassing EventCounters.add's
+        # per-call validation) on the simulator's hottest paths.
+        user = counters.user
+        user["IFU_IFETCH"] = user.get("IFU_IFETCH", 0) + n_lines
         if l1i_misses:
-            counters.add("IFU_IFETCH_MISS", l1i_misses)
-            counters.add("L2_IFETCH", l1i_misses)
+            user["IFU_IFETCH_MISS"] = user.get("IFU_IFETCH_MISS", 0) + l1i_misses
+            user["L2_IFETCH"] = user.get("L2_IFETCH", 0) + l1i_misses
             stall = (l1i_misses * self.spec.pipeline.l1i_fetch_stall_cycles
                      + l2i_misses * self.spec.memory.latency_cycles)
             self._l1i_stall_cycles += stall
         if l2i_misses:
-            counters.add("L2_IFETCH_MISS", l2i_misses)
+            user["L2_IFETCH_MISS"] = user.get("L2_IFETCH_MISS", 0) + l2i_misses
         if itlb_misses:
-            counters.add("ITLB_MISS", itlb_misses)
+            user["ITLB_MISS"] = user.get("ITLB_MISS", 0) + itlb_misses
         return l1i_misses
 
     def retire(self, instructions: int, uops: int = 0, mode: str = MODE_USER) -> None:
@@ -114,9 +122,15 @@ class SimulatedProcessor:
         if uops <= 0:
             uops = int(round(instructions * self.spec.pipeline.uops_per_instruction))
         counters = self.counters
-        counters.add("INST_RETIRED", instructions, mode)
-        counters.add("INST_DECODED", instructions, mode)
-        counters.add("UOPS_RETIRED", uops, mode)
+        if mode == MODE_USER:
+            bank = counters.user
+        elif mode == MODE_SUP:
+            bank = counters.sup
+        else:
+            raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+        bank["INST_RETIRED"] = bank.get("INST_RETIRED", 0) + instructions
+        bank["INST_DECODED"] = bank.get("INST_DECODED", 0) + instructions
+        bank["UOPS_RETIRED"] = bank.get("UOPS_RETIRED", 0) + uops
         if self.os is not None and mode == MODE_USER:
             fired = self.os.note_instructions(instructions)
             if fired:
@@ -125,20 +139,20 @@ class SimulatedProcessor:
     # ------------------------------------------------------------ data side
     def data_read(self, address: int, size: int = 4) -> int:
         """Simulated load; returns the number of L1D misses incurred."""
-        counters = self.counters
-        counters.add("DATA_MEM_REFS", 1)
+        user = self.counters.user
+        user["DATA_MEM_REFS"] = user.get("DATA_MEM_REFS", 0) + 1
         dtlb_miss = self.dtlb.access(address)
         if dtlb_miss:
-            counters.add("DTLB_MISS", dtlb_miss)
+            user["DTLB_MISS"] = user.get("DTLB_MISS", 0) + dtlb_miss
         l2 = self.caches.l2
         l2_data_misses_before = l2.stats.misses[0] + l2.stats.misses[1]
         misses = self.caches.read(address, size)
         if misses:
-            counters.add("DCU_LINES_IN", misses)
-            counters.add("L2_DATA_RQSTS", misses)
+            user["DCU_LINES_IN"] = user.get("DCU_LINES_IN", 0) + misses
+            user["L2_DATA_RQSTS"] = user.get("L2_DATA_RQSTS", 0) + misses
             l2_misses = (l2.stats.misses[0] + l2.stats.misses[1]) - l2_data_misses_before
             if l2_misses:
-                counters.add("L2_DATA_MISS", l2_misses)
+                user["L2_DATA_MISS"] = user.get("L2_DATA_MISS", 0) + l2_misses
         return misses
 
     def data_write(self, address: int, size: int = 4) -> int:
@@ -164,35 +178,73 @@ class SimulatedProcessor:
 
         This is the data side of the vectorized batch path: a tight loop
         issuing ``refs`` element loads over ``size`` contiguous bytes (one
-        load per cache line when ``refs`` is omitted).  Address translation
-        is performed once per virtual page the span touches rather than once
-        per element -- sequential access re-uses the same DTLB entry -- and
-        the cache hierarchy sees one lookup per line plus the implied hits.
+        load per cache line when ``refs`` is omitted).  When ``refs`` evenly
+        divides ``size`` the span is charged as ``refs`` contiguous
+        element loads through :meth:`data_read_strided`, which is
+        count-identical -- in every cache, TLB and counter -- to issuing the
+        element loads one :meth:`data_read` at a time; the per-line
+        fallback keeps the legacy "one load per cache line" accounting.
         """
         if size <= 0:
             return 0
-        counters = self.counters
+        if refs is not None and refs > 0 and size % refs == 0:
+            width = size // refs
+            return self.data_read_strided(address, width, refs, width)
+        line_bytes = self.caches.l1d.spec.line_bytes
         line_count = len(self.caches.l1d.lines_spanned(address, size))
-        # Every line fetch is at least one access, so the ref count is
-        # clamped from below to keep DATA_MEM_REFS consistent with the L1D
-        # access statistics (wide values may straddle line boundaries).
-        element_refs = line_count if refs is None else max(refs, line_count)
-        counters.add("DATA_MEM_REFS", element_refs)
-        page_shift = self.dtlb._page_shift
+        misses = self.data_read_strided(address, line_bytes, line_count, 1)
+        if refs is not None and refs > line_count:
+            # Extra element loads are line hits by construction; account the
+            # references (and the L1D accesses) without re-probing.
+            self.counters.add("DATA_MEM_REFS", refs - line_count)
+            self.caches.l1d.stats.add_bulk(0, refs - line_count)
+        return misses
+
+    def data_read_strided(self, address: int, stride: int, count: int,
+                          size: int = 4) -> int:
+        """Bulk load of ``count`` ``size``-byte elements ``stride`` bytes
+        apart; returns the L1D misses incurred.
+
+        The span-charging fast path for columnar dataflow: one call charges
+        a whole column-vector touch (contiguous when ``stride == size``, a
+        field stride through NSM records, or the executor's cyclic workspace
+        churn) with *identical* hit/miss counts, LRU evolution and counter
+        values to ``count`` individual :meth:`data_read` calls in ascending
+        address order.  The DTLB is updated once per page-run of elements
+        (charging every element access), the caches once per call.
+        """
+        if count <= 0:
+            return 0
+        if count == 1 or stride <= 0:
+            # Degenerate strides would revisit the same element; charge them
+            # through the scalar path to keep the equivalence trivial.
+            misses = 0
+            for _ in range(max(count, 0)):
+                misses += self.data_read(address, size)
+            return misses
+        user = self.counters.user
+        user["DATA_MEM_REFS"] = user.get("DATA_MEM_REFS", 0) + count
+        dtlb = self.dtlb
+        page_shift = dtlb._page_shift
         dtlb_misses = 0
-        for page in range(address >> page_shift, (address + size - 1 >> page_shift) + 1):
-            dtlb_misses += self.dtlb.access(page << page_shift)
+        position = 0
+        while position < count:
+            element = address + position * stride
+            page_end = ((element >> page_shift) + 1) << page_shift
+            run = min(count - position, (page_end - element + stride - 1) // stride)
+            dtlb_misses += dtlb.access_bulk(element, run)
+            position += run
         if dtlb_misses:
-            counters.add("DTLB_MISS", dtlb_misses)
+            user["DTLB_MISS"] = user.get("DTLB_MISS", 0) + dtlb_misses
         l2 = self.caches.l2
         l2_data_misses_before = l2.stats.misses[0] + l2.stats.misses[1]
-        misses = self.caches.read_span(address, size, refs=element_refs)
+        misses = self.caches.read_strided(address, stride, count, size)
         if misses:
-            counters.add("DCU_LINES_IN", misses)
-            counters.add("L2_DATA_RQSTS", misses)
+            user["DCU_LINES_IN"] = user.get("DCU_LINES_IN", 0) + misses
+            user["L2_DATA_RQSTS"] = user.get("L2_DATA_RQSTS", 0) + misses
             l2_misses = (l2.stats.misses[0] + l2.stats.misses[1]) - l2_data_misses_before
             if l2_misses:
-                counters.add("L2_DATA_MISS", l2_misses)
+                user["L2_DATA_MISS"] = user.get("L2_DATA_MISS", 0) + l2_misses
         return misses
 
     def count_data_refs(self, count: int) -> None:
@@ -205,7 +257,8 @@ class SimulatedProcessor:
         counter, so they are accounted in bulk.
         """
         if count > 0:
-            self.counters.add("DATA_MEM_REFS", count)
+            user = self.counters.user
+            user["DATA_MEM_REFS"] = user.get("DATA_MEM_REFS", 0) + count
 
     # ---------------------------------------------------------- branch side
     def branch(self, site_address: int, taken: bool, backward: bool = False) -> bool:
@@ -234,36 +287,37 @@ class SimulatedProcessor:
         """
         if count <= 0:
             return
-        counters = self.counters
-        counters.add("BR_INST_RETIRED", count)
+        user = self.counters.user
+        user["BR_INST_RETIRED"] = user.get("BR_INST_RETIRED", 0) + count
         if taken:
-            counters.add("BR_TAKEN_RETIRED", taken)
+            user["BR_TAKEN_RETIRED"] = user.get("BR_TAKEN_RETIRED", 0) + taken
         if mispredictions:
-            counters.add("BR_MISS_PRED_RETIRED", mispredictions)
+            user["BR_MISS_PRED_RETIRED"] = \
+                user.get("BR_MISS_PRED_RETIRED", 0) + mispredictions
         if btb_misses:
-            counters.add("BTB_MISSES", btb_misses)
+            user["BTB_MISSES"] = user.get("BTB_MISSES", 0) + btb_misses
 
     # -------------------------------------------------------- resource side
     def add_resource_stalls(self, dependency_cycles: float = 0.0,
                             functional_unit_cycles: float = 0.0,
                             ild_cycles: float = 0.0) -> None:
         """Charge resource-related stall cycles (TDEP, TFU, TILD)."""
-        counters = self.counters
+        user = self.counters.user
         total = 0
         if dependency_cycles > 0:
             cycles = int(round(dependency_cycles))
-            counters.add("PARTIAL_RAT_STALLS", cycles)
+            user["PARTIAL_RAT_STALLS"] = user.get("PARTIAL_RAT_STALLS", 0) + cycles
             total += cycles
         if functional_unit_cycles > 0:
             cycles = int(round(functional_unit_cycles))
-            counters.add("FU_CONTENTION_STALLS", cycles)
+            user["FU_CONTENTION_STALLS"] = user.get("FU_CONTENTION_STALLS", 0) + cycles
             total += cycles
         if ild_cycles > 0:
             cycles = int(round(ild_cycles))
-            counters.add("ILD_STALL", cycles)
+            user["ILD_STALL"] = user.get("ILD_STALL", 0) + cycles
             total += cycles
         if total:
-            counters.add("RESOURCE_STALLS", total)
+            user["RESOURCE_STALLS"] = user.get("RESOURCE_STALLS", 0) + total
 
     # ------------------------------------------------------------- progress
     def record_done(self, count: int = 1) -> None:

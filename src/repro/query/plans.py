@@ -36,31 +36,54 @@ ENGINES = (ENGINE_TUPLE, ENGINE_VECTORIZED)
 #: of one column (a few KB) fits comfortably in the 16 KB L1 D-cache.
 DEFAULT_BATCH_SIZE = 256
 
+#: How the execution layer presents vector touches to the simulated
+#: hardware.  ``span`` charges a column-vector (or workspace-churn) touch as
+#: a handful of bulk set-level operations; ``per_address`` probes the caches
+#: one address at a time.  The two are *count-identical* by contract (the
+#: differential harness asserts identical cache/TLB hit+miss counts); span
+#: charging only exists to make the simulator itself several times faster.
+CHARGE_SPAN = "span"
+CHARGE_PER_ADDRESS = "per_address"
+
+CHARGE_MODES = (CHARGE_SPAN, CHARGE_PER_ADDRESS)
+
 
 @dataclass(frozen=True)
 class ExecutionConfig:
-    """How physical plans are executed: engine choice and batch geometry.
+    """How physical plans are executed: engine choice, batch geometry and
+    hardware-charging mode.
 
     The planner produces the *same* physical plans for both engines -- the
     plan describes access paths and join algorithms, and the engine decides
     whether the operator tree iterates tuple-at-a-time or batch-at-a-time.
     Keeping the switch in a config object (rather than in the plan nodes)
     is what lets the differential harness replay one plan under both
-    engines and diff the results.
+    engines and diff the results.  ``charge_mode`` likewise selects how the
+    very same trace of simulated memory touches reaches the cache models
+    (bulk spans vs individual probes) without changing a single modelled
+    event.
     """
 
     engine: str = ENGINE_TUPLE
     batch_size: int = DEFAULT_BATCH_SIZE
+    charge_mode: str = CHARGE_SPAN
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:
             raise ValueError(f"unknown engine {self.engine!r}; expected one of {ENGINES}")
         if self.batch_size < 1:
             raise ValueError("batch_size must be at least 1")
+        if self.charge_mode not in CHARGE_MODES:
+            raise ValueError(f"unknown charge mode {self.charge_mode!r}; "
+                             f"expected one of {CHARGE_MODES}")
 
     @property
     def is_vectorized(self) -> bool:
         return self.engine == ENGINE_VECTORIZED
+
+    @property
+    def uses_span_charging(self) -> bool:
+        return self.charge_mode == CHARGE_SPAN
 
 
 # --------------------------------------------------------------------------

@@ -1,5 +1,6 @@
 """Differential harness: the vectorized engine must be indistinguishable
-from the tuple engine at the result level.
+from the tuple engine at the result level, and span charging must be
+indistinguishable from per-address charging at the hardware level.
 
 Every planner-producible plan shape (sequential scan, index range and point
 access, nested-loop / index-nested-loop / hash joins, scalar aggregation,
@@ -8,6 +9,13 @@ the harness asserts row-for-row identical results (same rows, same order)
 and identical ``query_setup`` charge counts.  Batch sizes of 1 (degenerate:
 every batch is one record), a prime (batches straddle page boundaries
 unevenly) and the default 256 are exercised throughout.
+
+The charge-mode half replays the same plans under ``charge_mode="span"``
+(bulk strided cache/TLB operations, the simulation fast path) and
+``charge_mode="per_address"`` (one probe per address, the reference) on
+identically seeded databases and asserts *identical* cache and TLB hit+miss
+counts, identical event counters and identical result rows -- span charging
+must be a pure simulator optimisation, never a model change.
 """
 
 from __future__ import annotations
@@ -23,7 +31,7 @@ from repro.query import (ExecutionConfig, JoinQuery, Planner, SelectionQuery,
                          UpdateQuery, avg, count_star, equals, range_predicate)
 from repro.query.planner import DefaultPolicy
 from repro.query.plans import (AggregatePlan, HashJoinPlan, IndexPointLookupPlan,
-                               IndexRangeScanPlan, SeqScanPlan)
+                               IndexRangeScanPlan, SeqScanPlan, UpdatePlan)
 from repro.storage.schema import ColumnType
 from repro.systems import SYSTEM_B, SYSTEM_C
 
@@ -233,3 +241,96 @@ def test_pax_and_nsm_return_identical_results():
                 predicate=range_predicate("a2", 10, 40)), warmup_runs=0)
             rows[style] = result.rows
         assert rows["nsm"] == rows["pax"]
+
+
+# ---------------------------------------------------------------------------
+# Span charging vs per-address charging: identical hardware counts
+# ---------------------------------------------------------------------------
+def hardware_counts(processor: SimulatedProcessor) -> dict:
+    """Every cache/TLB access, hit and miss count plus the event counters."""
+    snap = processor.caches.snapshot()
+    return {
+        "l1d": snap.l1d, "l1i": snap.l1i, "l2": snap.l2,
+        "dtlb": processor.dtlb.stats.as_dict(),
+        "itlb": processor.itlb.stats.as_dict(),
+        "branch": processor.branch_unit.stats.as_dict(),
+        "user": dict(processor.counters.user),
+        "sup": dict(processor.counters.sup),
+    }
+
+
+def run_charge_modes(plan_factory, layout_style: str, engine: str = "vectorized",
+                     batch_size: int = 256, profile=SYSTEM_B):
+    """Execute one plan under both charge modes on identically seeded
+    databases; assert identical rows and identical hardware counts."""
+    outcomes = {}
+    for mode in ("per_address", "span"):
+        db = build_database(layout_style=layout_style)
+        processor = SimulatedProcessor()
+        ctx = ExecutionContext(processor, profile, db.address_space,
+                               charge_mode=mode)
+        plan = plan_factory(db)
+        execution = ExecutionConfig(engine=engine, batch_size=batch_size,
+                                    charge_mode=mode)
+        if isinstance(plan, UpdatePlan):
+            rows = [{"updated": execute_update(plan, db.catalog, ctx,
+                                               execution=execution)}]
+        else:
+            rows = execute_plan(plan, db.catalog, ctx, execution=execution)
+        processor.finalize()
+        outcomes[mode] = (rows, hardware_counts(processor))
+    rows_span, counts_span = outcomes["span"]
+    rows_ref, counts_ref = outcomes["per_address"]
+    assert rows_span == rows_ref
+    assert counts_span == counts_ref
+    return rows_span
+
+
+CHARGE_MODE_PLANS = {
+    "seq_scan": lambda db: SeqScanPlan(table="R",
+                                       predicate=range_predicate("a2", 10, 30)),
+    "seq_scan_bare": lambda db: SeqScanPlan(table="R", predicate=None),
+    "agg_seq_scan": lambda db: Planner(db.catalog, SYSTEM_C).plan(
+        SelectionQuery(table="R", aggregates=(avg("a3"), count_star()),
+                       predicate=range_predicate("a2", 5, 25))),
+    "index_range": lambda db: IndexRangeScanPlan(
+        table="R", column="a2", low=5, high=45,
+        residual_predicate=range_predicate("a3", 1000, 9000)),
+    "agg_index_range": lambda db: Planner(db.catalog, SYSTEM_B).plan(
+        SelectionQuery(table="R", aggregates=(avg("a3"),),
+                       predicate=range_predicate("a2", 10, 20),
+                       prefer_index_on="a2")),
+    "point_lookup": lambda db: IndexPointLookupPlan(table="S", column="a1", value=7),
+    "hash_join": lambda db: Planner(db.catalog,
+                                    DefaultPolicy(join_algorithm="hash")).plan(JOIN_QUERY),
+    "nested_loop_join": lambda db: Planner(
+        db.catalog, DefaultPolicy(join_algorithm="nested_loop")).plan(JOIN_QUERY),
+    "index_nested_loop_join": lambda db: Planner(
+        db.catalog, DefaultPolicy(join_algorithm="index_nested_loop")).plan(JOIN_QUERY),
+    "update": lambda db: Planner(db.catalog, SYSTEM_B).plan(UpdateQuery(
+        table="S", key_column="a1", key_value=11, set_column="a3", set_value=-5)),
+}
+
+
+@pytest.mark.parametrize("layout_style", ("nsm", "pax"))
+@pytest.mark.parametrize("shape", sorted(CHARGE_MODE_PLANS))
+def test_span_charging_is_count_identical_vectorized(shape, layout_style):
+    factory = CHARGE_MODE_PLANS[shape]
+    profile = SYSTEM_C if shape == "agg_seq_scan" else SYSTEM_B
+    run_charge_modes(factory, layout_style, engine="vectorized", profile=profile)
+
+
+@pytest.mark.parametrize("layout_style", ("nsm", "pax"))
+@pytest.mark.parametrize("shape", ("agg_seq_scan", "hash_join", "update"))
+def test_span_charging_is_count_identical_tuple_engine(shape, layout_style):
+    """The fast path also backs the tuple engine's workspace/record charges."""
+    factory = CHARGE_MODE_PLANS[shape]
+    profile = SYSTEM_C if shape == "agg_seq_scan" else SYSTEM_B
+    run_charge_modes(factory, layout_style, engine="tuple", profile=profile)
+
+
+@pytest.mark.parametrize("batch_size", (1, 7))
+def test_span_charging_count_identical_at_odd_batch_sizes(batch_size):
+    run_charge_modes(CHARGE_MODE_PLANS["agg_seq_scan"], "pax",
+                     engine="vectorized", batch_size=batch_size,
+                     profile=SYSTEM_C)
