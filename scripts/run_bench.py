@@ -12,14 +12,24 @@ per configuration:
 * ``cycles`` -- simulated ``CPU_CLK_UNHALTED`` (the *modelled* speed, which
   must not change when the simulator gets faster).
 
-``--compare-to`` embeds a previous BENCH json (e.g. one captured before a
-perf PR) and reports per-configuration speedups, so the perf trajectory of
-the simulator is recorded alongside the numbers themselves.
+The grid reuses **one warmed database build per layout** (the address space
+is rolled back to the post-build checkpoint before every session, so the
+cached path is bit-identical to a fresh build -- asserted per cell against
+the repeat runs) and can dispatch independent cells to a fork-based process
+pool (``--grid-workers``).  ``--parallelism N`` additionally runs each
+vectorized cell through the morsel-parallel exchange; simulated cycles are
+identical for every N by design.
+
+``--compare-to`` embeds a previous BENCH json, prints a per-cell delta
+table, and acts as a **regression gate**: the exit status is non-zero when
+any cell's simulated cycles differ from the baseline or its wall clock
+regresses by more than ``--tolerance`` (default 0.20 = 20%).
 
 Usage::
 
     PYTHONPATH=src python scripts/run_bench.py
     PYTHONPATH=src python scripts/run_bench.py --repeat 5 --compare-to BENCH_x.json
+    PYTHONPATH=src python scripts/run_bench.py --grid-workers 4 --parallelism 2
 """
 
 from __future__ import annotations
@@ -31,13 +41,15 @@ import platform
 import subprocess
 import sys
 import time
+from typing import Dict, List, Optional, Tuple
 
 sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
 
-from repro.engine.database import Database
-from repro.engine.session import Session
+from repro.execution.parallel import fork_available
+from repro.experiments.runner import ExperimentConfig, ExperimentRunner
+from repro.hardware.counters import EventCounters
 from repro.systems import SYSTEM_B
-from repro.workloads.micro import MicroWorkload, MicroWorkloadConfig
+from repro.workloads.micro import MicroWorkloadConfig
 
 ENGINES = ("tuple", "vectorized")
 LAYOUTS = ("nsm", "pax")
@@ -47,23 +59,13 @@ QUERY_KINDS = ("SRS", "IRS", "SJ")
 HEADLINE = ("vectorized", "pax", "SRS")
 
 
-def build_database(workload: MicroWorkload, layout: str) -> Database:
-    db = Database()
-    from repro.storage.schema import ColumnType
-
-    columns = [("a1", ColumnType.INT32), ("a2", ColumnType.INT32),
-               ("a3", ColumnType.INT32)]
-    db.create_table("R", columns, record_size=workload.config.record_size,
-                    layout_style=layout)
-    db.load("R", workload.generate_r_rows())
-    db.create_table("S", columns, record_size=workload.config.record_size,
-                    layout_style=layout)
-    db.load("S", workload.generate_s_rows())
-    workload.create_selection_index(db)
-    return db
+def make_runner(scale: Optional[float], parallelism: int = 1) -> ExperimentRunner:
+    micro = MicroWorkloadConfig() if scale is None else MicroWorkloadConfig(scale=scale)
+    return ExperimentRunner(ExperimentConfig(micro=micro, os_interference=False,
+                                             parallelism=parallelism))
 
 
-def query_for(workload: MicroWorkload, kind: str):
+def query_for(workload, kind: str):
     if kind == "SRS":
         return workload.sequential_range_selection()
     if kind == "IRS":
@@ -71,25 +73,145 @@ def query_for(workload: MicroWorkload, kind: str):
     return workload.sequential_join()
 
 
-def measure(workload: MicroWorkload, engine: str, layout: str, kind: str,
-            repeat: int) -> dict:
-    """Best-of-``repeat`` wall clock (fresh database and session per run)."""
+def measure_cell(runner: ExperimentRunner, engine: str, layout: str, kind: str,
+                 repeat: int) -> dict:
+    """Best-of-``repeat`` wall clock against the cached warmed build.
+
+    Every run rolls the shared build's address space back to its post-build
+    checkpoint, so run N is bit-identical to run 1 (and to a run against a
+    freshly built database); the identity of rows and cycles across repeats
+    is asserted, which is the runtime check that the cached-database path
+    changes nothing.
+    """
+    query = query_for(runner.micro_workload, kind)
     best = None
-    cycles = rows = None
-    for _ in range(repeat):
-        db = build_database(workload, layout)
-        session = Session(db, SYSTEM_B, os_interference=None, engine=engine)
-        query = query_for(workload, kind)
-        start = time.perf_counter()
-        result = session.execute(query, warmup_runs=0)
-        elapsed = time.perf_counter() - start
+    cycles = None
+    rows = None
+    counters = None
+    for _ in range(max(repeat, 1)):
+        with runner.grid_session(engine, layout) as session:
+            start = time.perf_counter()
+            result = session.execute(query, warmup_runs=0)
+            elapsed = time.perf_counter() - start
         if best is None or elapsed < best:
             best = elapsed
-        cycles = result.counters.get("CPU_CLK_UNHALTED")
+        run_cycles = result.counters.get("CPU_CLK_UNHALTED")
+        if cycles is not None and (run_cycles != cycles or result.rows != rows):
+            raise AssertionError(
+                f"cached-database run of {engine}/{layout}/{kind} diverged: "
+                f"cycles {run_cycles} vs {cycles}, rows equal: {result.rows == rows}")
+        cycles = run_cycles
         rows = result.rows
+        counters = result.counters
     return {"engine": engine, "layout": layout, "query": kind,
             "wall_seconds": round(best, 6), "cycles": cycles,
-            "result_rows": rows}
+            "result_rows": rows,
+            "_counters": counters}
+
+
+#: Runner inherited by forked grid workers.
+_BENCH_RUNNER: Optional[ExperimentRunner] = None
+_BENCH_REPEAT = 1
+
+
+def _measure_cell_task(cell: Tuple[str, str, str]) -> dict:
+    point = measure_cell(_BENCH_RUNNER, *cell, repeat=_BENCH_REPEAT)
+    point["_counters"] = point["_counters"].as_dict()
+    return point
+
+
+def run_grid(runner: ExperimentRunner, repeat: int, grid_workers: int) -> List[dict]:
+    """Measure all 12 cells, serially or via a fork-based process pool."""
+    cells = [(engine, layout, kind) for engine in ENGINES
+             for layout in LAYOUTS for kind in QUERY_KINDS]
+    if grid_workers > 1 and not fork_available():
+        grid_workers = 1
+    if grid_workers <= 1:
+        points = []
+        for cell in cells:
+            point = measure_cell(runner, *cell, repeat=repeat)
+            point["_counters"] = point["_counters"].as_dict()
+            points.append(point)
+        return points
+    # Pre-build every layout's database so forked workers inherit the
+    # warmed builds instead of rebuilding them per process.
+    for layout in LAYOUTS:
+        runner.grid_database(layout)
+    import multiprocessing
+    from concurrent.futures import ProcessPoolExecutor
+    global _BENCH_RUNNER, _BENCH_REPEAT
+    _BENCH_RUNNER, _BENCH_REPEAT = runner, repeat
+    try:
+        with ProcessPoolExecutor(
+                max_workers=min(grid_workers, len(cells)),
+                mp_context=multiprocessing.get_context("fork")) as pool:
+            return list(pool.map(_measure_cell_task, cells))
+    finally:
+        _BENCH_RUNNER = None
+
+
+def merged_grid_counters(points: List[dict]) -> EventCounters:
+    """Commutative merge of every cell's counters (grid-total events)."""
+    total = EventCounters()
+    for point in points:
+        total.merge(EventCounters.from_dict(point["_counters"]))
+    return total
+
+
+# ---------------------------------------------------------------------------
+# Regression gate
+# ---------------------------------------------------------------------------
+def compare_to_baseline(points: List[dict], baseline: dict,
+                        tolerance: Optional[float]
+                        ) -> Tuple[List[str], List[str], Dict[str, dict]]:
+    """Per-cell delta table plus gate violations.
+
+    A violation is raised when a cell's simulated cycles differ from the
+    baseline (the model changed) or its wall clock regressed by more than
+    ``tolerance`` (fractional; 0.2 = +20%).  ``tolerance=None`` disables
+    the wall gate (used when cells were measured concurrently, where
+    per-cell wall clocks are not comparable to a serial baseline); cycles
+    always gate.  Cells absent from the baseline are reported but never
+    gate.
+    """
+    baseline_points = {(c["engine"], c["layout"], c["query"]): c
+                       for c in baseline.get("configs", ())}
+    lines = [f"{'cell':>26s} {'wall before':>12s} {'wall after':>11s} "
+             f"{'speedup':>8s}  cycles"]
+    violations: List[str] = []
+    speedups: Dict[str, dict] = {}
+    for point in points:
+        key = (point["engine"], point["layout"], point["query"])
+        name = "/".join(key)
+        before = baseline_points.get(key)
+        if before is None:
+            lines.append(f"{name:>26s} {'-':>12s} {point['wall_seconds']:>11.3f} "
+                         f"{'new':>8s}  {point['cycles']:,}")
+            continue
+        wall_before = before["wall_seconds"]
+        wall_after = point["wall_seconds"]
+        speedup = (wall_before / wall_after) if wall_after else None
+        cycles_match = before["cycles"] == point["cycles"]
+        cycle_note = "identical" if cycles_match else (
+            f"CHANGED {before['cycles']:,} -> {point['cycles']:,}")
+        speedup_note = f"{speedup:>7.2f}x" if speedup is not None else f"{'-':>8s}"
+        lines.append(f"{name:>26s} {wall_before:>12.3f} {wall_after:>11.3f} "
+                     f"{speedup_note}  {cycle_note}")
+        speedups[name] = {
+            "before_wall_seconds": wall_before,
+            "after_wall_seconds": wall_after,
+            "speedup": round(speedup, 3) if speedup else None,
+            "cycles_before": before["cycles"],
+            "cycles_after": point["cycles"],
+        }
+        if not cycles_match:
+            violations.append(f"{name}: simulated cycles changed "
+                              f"({before['cycles']:,} -> {point['cycles']:,})")
+        if tolerance is not None and wall_after > wall_before * (1.0 + tolerance):
+            violations.append(
+                f"{name}: wall clock regressed {wall_after:.3f}s vs "
+                f"{wall_before:.3f}s (> {tolerance:.0%} tolerance)")
+    return lines, violations, speedups
 
 
 def git_revision() -> str:
@@ -111,25 +233,43 @@ def main() -> int:
     parser.add_argument("--label", default="",
                         help="free-form label recorded in the json (e.g. 'PR 1 baseline')")
     parser.add_argument("--compare-to", default=None, metavar="BENCH.json",
-                        help="embed a previous BENCH json and report speedups")
+                        help="embed a previous BENCH json, print the per-cell delta "
+                             "table and gate on it (non-zero exit on violation)")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed fractional wall-clock regression per cell "
+                             "before the gate fails (default 0.20 = 20%%)")
+    parser.add_argument("--grid-workers", type=int, default=1,
+                        help="process-level parallelism across grid cells "
+                             "(fork-based; 1 = serial)")
+    parser.add_argument("--parallelism", type=int, default=1,
+                        help="morsel-parallel workers inside each vectorized "
+                             "session (cycles are identical for every value)")
     parser.add_argument("--out-dir", default=None,
                         help="directory for BENCH_<stamp>.json (default: repo root)")
     args = parser.parse_args()
 
-    config = MicroWorkloadConfig() if args.scale is None else \
-        MicroWorkloadConfig(scale=args.scale)
-    workload = MicroWorkload(config)
+    grid_start = time.perf_counter()
+    runner = make_runner(args.scale, parallelism=args.parallelism)
+    build_start = time.perf_counter()
+    for layout in LAYOUTS:
+        runner.grid_database(layout)
+    build_seconds = time.perf_counter() - build_start
 
+    points = run_grid(runner, args.repeat, args.grid_workers)
+    for point in points:
+        print(f"{point['engine']:>10} x {point['layout']} x {point['query']}: "
+              f"{point['wall_seconds']:.3f}s wall, "
+              f"{point['cycles']:,} simulated cycles")
+    grid_wall = time.perf_counter() - grid_start
+
+    totals = merged_grid_counters(points)
     configs = []
-    for engine in ENGINES:
-        for layout in LAYOUTS:
-            for kind in QUERY_KINDS:
-                point = measure(workload, engine, layout, kind, args.repeat)
-                configs.append(point)
-                print(f"{engine:>10} x {layout} x {kind}: "
-                      f"{point['wall_seconds']:.3f}s wall, "
-                      f"{point['cycles']:,} simulated cycles")
+    for point in points:
+        point = dict(point)
+        point.pop("_counters")
+        configs.append(point)
 
+    config = runner.config.micro
     report = {
         "label": args.label,
         "git_revision": git_revision(),
@@ -138,35 +278,56 @@ def main() -> int:
         "scale": config.scale,
         "r_rows": config.r_rows,
         "system": SYSTEM_B.key,
+        "grid_workers": args.grid_workers,
+        "parallelism": args.parallelism,
+        "grid_wall_seconds": round(grid_wall, 3),
+        "db_build_seconds": round(build_seconds, 3),
+        "db_builds": len(LAYOUTS),
+        "grid_total_cycles": totals.get("CPU_CLK_UNHALTED"),
         "headline": {"engine": HEADLINE[0], "layout": HEADLINE[1],
                      "query": HEADLINE[2]},
         "configs": configs,
     }
+    print(f"\ngrid wall: {grid_wall:.3f}s end-to-end "
+          f"({build_seconds:.3f}s for {len(LAYOUTS)} database builds, "
+          f"repeat={args.repeat}, grid_workers={args.grid_workers}, "
+          f"parallelism={args.parallelism})")
 
+    exit_code = 0
     if args.compare_to:
         with open(args.compare_to) as handle:
             baseline = json.load(handle)
         report["baseline"] = baseline
-        speedups = {}
-        baseline_points = {(c["engine"], c["layout"], c["query"]): c
-                           for c in baseline.get("configs", ())}
-        for point in configs:
-            key = (point["engine"], point["layout"], point["query"])
-            if key in baseline_points:
-                before = baseline_points[key]["wall_seconds"]
-                after = point["wall_seconds"]
-                speedups["/".join(key)] = {
-                    "before_wall_seconds": before,
-                    "after_wall_seconds": after,
-                    "speedup": round(before / after, 3) if after else None,
-                    "cycles_before": baseline_points[key]["cycles"],
-                    "cycles_after": point["cycles"],
-                }
+        # Concurrently measured cells share the machine, so their wall
+        # clocks are not comparable to a serial baseline; gate cycles only.
+        tolerance = args.tolerance if args.grid_workers <= 1 else None
+        if tolerance is None:
+            print("\n(grid_workers > 1: wall-clock gate disabled, "
+                  "cycles still gated)")
+        lines, violations, speedups = compare_to_baseline(
+            configs, baseline, tolerance)
         report["speedups"] = speedups
+        report["gate_violations"] = violations
+        print()
+        for line in lines:
+            print(line)
         headline_key = "/".join(HEADLINE)
         if headline_key in speedups:
             print(f"\nheadline {headline_key}: "
                   f"{speedups[headline_key]['speedup']}x wall-clock speedup")
+        if "grid_wall_seconds" in baseline:
+            before = baseline["grid_wall_seconds"]
+            print(f"grid end-to-end: {before:.3f}s -> {grid_wall:.3f}s "
+                  f"({before / grid_wall:.2f}x)" if grid_wall else "")
+        if violations:
+            print("\nREGRESSION GATE FAILED:")
+            for violation in violations:
+                print(f"  - {violation}")
+            exit_code = 1
+        elif tolerance is None:
+            print("\nregression gate passed (cycles identical; wall not gated)")
+        else:
+            print(f"\nregression gate passed (tolerance {tolerance:.0%})")
 
     stamp = time.strftime("%Y%m%d-%H%M%S")
     out_dir = args.out_dir or os.path.join(
@@ -176,7 +337,7 @@ def main() -> int:
         json.dump(report, handle, indent=2, sort_keys=False)
         handle.write("\n")
     print(f"\nwrote {path}")
-    return 0
+    return exit_code
 
 
 if __name__ == "__main__":

@@ -22,6 +22,7 @@ from ..analysis.metrics import QueryMetrics, compute_metrics
 from ..execution.code_layout import CodeLayout
 from ..execution.context import ExecutionContext
 from ..execution.executor import execute_plan, execute_update
+from ..execution.parallel import ParallelExecution
 from ..hardware.counters import EventCounters
 from ..hardware.os_interference import OSInterferenceConfig
 from ..hardware.pipeline import OverlapModel
@@ -76,7 +77,17 @@ class Session:
                  overlap: Optional[OverlapModel] = None,
                  engine: str = ENGINE_TUPLE,
                  batch_size: int = DEFAULT_BATCH_SIZE,
-                 charge_mode: str = CHARGE_SPAN) -> None:
+                 charge_mode: str = CHARGE_SPAN,
+                 parallelism: int = 1,
+                 parallel_backend: str = "process",
+                 morsel_pages: Optional[int] = None) -> None:
+        """``parallelism=N`` (N > 1) enables the morsel-parallel exchange
+        for vectorized sequential scans: page morsels are produced by N
+        workers (``parallel_backend="process"`` forks a pool inheriting the
+        database; ``"inline"`` runs the same machinery in-process) and their
+        charge tapes are replayed in canonical order, so result rows and
+        every simulated hardware count are identical to ``parallelism=1``.
+        """
         self.database = database
         self.profile = profile
         self.spec = spec
@@ -85,12 +96,31 @@ class Session:
         self.planner = Planner(database.catalog, profile,
                                execution=ExecutionConfig(engine=engine,
                                                          batch_size=batch_size,
-                                                         charge_mode=charge_mode))
+                                                         charge_mode=charge_mode,
+                                                         workers=max(parallelism, 1),
+                                                         morsel_pages=morsel_pages))
         self.code_layout = CodeLayout(profile, database.address_space)
         self.context = ExecutionContext(self.processor, profile,
                                         database.address_space,
                                         code_layout=self.code_layout,
                                         charge_mode=charge_mode)
+        self.parallel: Optional[ParallelExecution] = None
+        if parallelism > 1:
+            self.parallel = ParallelExecution(database, parallelism,
+                                              backend=parallel_backend,
+                                              morsel_pages=morsel_pages)
+            self.context.parallel = self.parallel
+
+    def close(self) -> None:
+        """Release the morsel-worker pool (no-op for serial sessions)."""
+        if self.parallel is not None:
+            self.parallel.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     @property
     def execution(self) -> ExecutionConfig:
@@ -175,6 +205,9 @@ class Session:
         if isinstance(plan, UpdatePlan):
             updated = execute_update(plan, self.database.catalog, self.context,
                                      execution=self.execution)
+            if self.parallel is not None:
+                # The forked workers hold a pre-update database snapshot.
+                self.parallel.invalidate_snapshot()
             return [{"updated": updated}]
         return execute_plan(plan, self.database.catalog, self.context,
                             execution=self.execution)
@@ -201,6 +234,10 @@ class Session:
             if isinstance(plan, UpdatePlan):
                 execute_update(plan, self.database.catalog, self.context,
                                charge_setup=False, execution=self.execution)
+                if self.parallel is not None:
+                    # Invalidate immediately: a later statement of this very
+                    # transaction may scan the table the update just changed.
+                    self.parallel.invalidate_snapshot()
             else:
                 execute_plan(plan, self.database.catalog, self.context,
                              execution=self.execution)

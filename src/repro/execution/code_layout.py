@@ -61,6 +61,12 @@ class CodeSegment:
     branch_sites: Tuple[BranchSite, ...]
     bulk_branches: int
     bulk_taken: int
+    #: Precomputed ``int(round(...))`` of the three stall components plus
+    #: their total, exactly as
+    #: :meth:`~repro.hardware.processor.SimulatedProcessor.add_resource_stalls`
+    #: would derive them per visit -- hoisting the per-visit rounding out of
+    #: the simulator's hottest path.
+    stall_ints: Tuple[int, int, int, int] = (0, 0, 0, 0)
 
     @property
     def hot_bytes(self) -> int:
@@ -108,6 +114,12 @@ class CodeLayout:
         bulk_taken = int(round(bulk * 0.6))
         cold_lines = (cost.cold_code_bytes + LINE_BYTES - 1) // LINE_BYTES if cost.cold_code_bytes else 0
 
+        ild_stall_cycles = cost.instructions * profile.ild_stall_per_instruction
+        dep_int = int(round(cost.dependency_stall_cycles)) \
+            if cost.dependency_stall_cycles > 0 else 0
+        fu_int = int(round(cost.fu_stall_cycles)) if cost.fu_stall_cycles > 0 else 0
+        ild_int = int(round(ild_stall_cycles)) if ild_stall_cycles > 0 else 0
+
         return CodeSegment(
             name=name,
             base_address=base,
@@ -119,10 +131,11 @@ class CodeLayout:
             workspace_touches=cost.workspace_touches,
             dependency_stall_cycles=cost.dependency_stall_cycles,
             fu_stall_cycles=cost.fu_stall_cycles,
-            ild_stall_cycles=cost.instructions * profile.ild_stall_per_instruction,
+            ild_stall_cycles=ild_stall_cycles,
             branch_sites=tuple(sites),
             bulk_branches=bulk,
             bulk_taken=bulk_taken,
+            stall_ints=(dep_int, fu_int, ild_int, dep_int + fu_int + ild_int),
         )
 
     # -------------------------------------------------------------- queries

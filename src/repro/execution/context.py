@@ -117,6 +117,13 @@ class ExecutionContext:
 
         self.rows_produced = 0
 
+        #: Optional morsel-parallel executor
+        #: (:class:`~repro.execution.parallel.ParallelExecution`).  When set
+        #: with ``workers > 1``, vectorized sequential scans are built as
+        #: exchange operators that fan page morsels out to workers and
+        #: replay their charge tapes here, in canonical order.
+        self.parallel = None
+
         # Routine-invocation counts: one entry per interpreted call.  A
         # batched call (:meth:`visit_batch`) counts once however many
         # records it covers -- the whole point of vectorization is that the
@@ -212,14 +219,38 @@ class ExecutionContext:
         self._visit_counter += 1
 
         # Instruction side: hot lines every visit, plus the cold-code slice.
-        processor.fetch_code(segment.hot_lines)
-        if segment.cold_lines_per_visit:
-            processor.fetch_code(self._next_cold_lines(segment.cold_lines_per_visit))
-        processor.retire(segment.instructions, segment.uops)
+        # Both are contiguous line runs (hot code is laid out as one run,
+        # cold code rotates through a contiguous pool), so they take the
+        # run-based fetch fast path -- count-identical to per-line fetches.
+        processor.fetch_code_run(segment.base_address, len(segment.hot_lines))
+        cold_count = segment.cold_lines_per_visit
+        if cold_count:
+            pool = self.layout.cold_pool_lines
+            if cold_count < pool:
+                base = self.layout.cold_pool_base
+                cursor = self._cold_cursor
+                run = pool - cursor
+                if cold_count <= run:
+                    processor.fetch_code_run(base + cursor * LINE_BYTES, cold_count)
+                else:
+                    processor.fetch_code_run(base + cursor * LINE_BYTES, run)
+                    processor.fetch_code_run(base, cold_count - run)
+                self._cold_cursor = (cursor + cold_count) % pool
+            else:
+                # Degenerate geometry (slice wraps the whole pool): keep the
+                # generic per-line path so repeated lines stay exact.
+                processor.fetch_code(self._next_cold_lines(cold_count))
 
-        # Data side: bulk references plus private working-set touches.
-        if segment.data_refs:
-            processor.count_data_refs(segment.data_refs)
+        # Retirement, bulk L1D-hit references and (pre-rounded) resource
+        # stalls in one fused counter pass; the adds commute, so this is
+        # count-identical to the separate retire/count_data_refs/
+        # add_resource_stalls calls it replaces.
+        stall_ints = segment.stall_ints
+        processor.charge_routine(segment.instructions, segment.uops,
+                                 segment.data_refs, stall_ints[0],
+                                 stall_ints[1], stall_ints[2], stall_ints[3])
+
+        # Private working-set touches.
         self._touch_workspace(segment.workspace_touches)
 
         # Branch sites.  The predictor is exercised per site; the retirement
@@ -253,11 +284,6 @@ class ExecutionContext:
             processor.count_branches(segment.bulk_branches, taken=segment.bulk_taken,
                                      mispredictions=mispredictions,
                                      btb_misses=btb_misses)
-
-        # Resource stalls charged by the cost model.
-        processor.add_resource_stalls(segment.dependency_stall_cycles,
-                                      segment.fu_stall_cycles,
-                                      segment.ild_stall_cycles)
 
     def _touch_workspace(self, touches: int) -> None:
         """Charge ``touches`` cyclic private-working-set reads.

@@ -139,7 +139,8 @@ def execute_update(plan: UpdatePlan, catalog: Catalog, ctx: ExecutionContext,
         from .vectorized import build_vectorized_scan  # deferred: module imports us
         lookup: Operator = build_vectorized_scan(
             plan.lookup, catalog, ctx, table.schema.column_names(),
-            batch_size=execution.batch_size)
+            batch_size=execution.batch_size,
+            allow_exchange=False)  # updates mutate the heap: stay serial
     else:
         lookup = build_scan(plan.lookup, catalog, ctx,
                             output_columns=table.schema.column_names())

@@ -1,0 +1,444 @@
+"""Morsel-driven parallel execution over the columnar dataflow.
+
+A :class:`ColumnBatch` is a self-contained work item, which makes the
+vectorized engine's leaf scans embarrassingly partitionable: split the heap
+into contiguous *morsels* of pages, produce each morsel's batches
+independently, and concatenate the outputs in page order.  The subtlety is
+the simulated hardware: the paper's entire methodology rests on exact event
+counts, and cache/TLB/branch state evolves with every touch, so letting N
+workers charge N private simulated processors would make the counts depend
+on the partitioning.
+
+The design here keeps the *data work* parallel and the *hardware charging*
+serial-equivalent by splitting the two:
+
+* A worker executes its morsel's scan against a :class:`TapeRecorder` -- an
+  execution-context stand-in that performs all the real data work (page
+  decoding, predicate vectors, selection gathers) but, instead of driving a
+  simulated processor, appends every charge the operator issues to a
+  *charge tape*.  Charge arguments (routine names, record counts, page
+  addresses, strides) are pure functions of the data, never of hardware
+  state, so the tape is exactly the charge sequence the serial engine would
+  have issued for that morsel.
+* The parent consumes morsel results **in canonical (page) order** and
+  replays each batch's tape segment into the real
+  :class:`~repro.execution.context.ExecutionContext` immediately before
+  yielding the batch downstream.  The real processor therefore observes the
+  exact same interleaving of scan charges and downstream-operator charges
+  as a serial run: rows, cache/TLB hit and miss counts, branch outcomes and
+  the final cycle breakdown are *bit-identical* to ``workers=1`` -- by
+  construction, independent of how many workers raced to produce the tapes
+  (``tests/test_parallel_execution.py`` asserts this for every
+  planner-producible plan shape, both layouts and both charge modes).
+
+Backends: ``process`` fans morsels out to a fork-based
+:class:`~concurrent.futures.ProcessPoolExecutor` (workers inherit the
+database snapshot through fork, so nothing but the small task descriptors
+and tapes crosses the process boundary); ``inline`` runs the same
+morsel/tape machinery in-process (deterministic fallback when fork is
+unavailable, and the default under test).  Worker-local statistics objects
+(:class:`~repro.hardware.counters.EventCounters`,
+:class:`~repro.hardware.cache.CacheStats`,
+:class:`~repro.hardware.tlb.TLBStats`,
+:class:`~repro.hardware.branch.BranchStats`) all support commutative
+``merge()``, so any telemetry the workers do accumulate can be folded
+together in any completion order.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..query.plans import CHARGE_SPAN
+from ..systems.profile import SystemProfile
+
+__all__ = [
+    "ChargeOp", "TapeRecorder", "MorselSpec", "MorselResult",
+    "ParallelExecution", "VecExchangeOperator", "replay_tape",
+    "fork_available", "partition_pages",
+]
+
+#: One recorded charge: an opcode tuple.  Kept as plain tuples of scalars so
+#: tapes pickle compactly across the process boundary.
+ChargeOp = tuple
+
+_OP_VISIT = "v"
+_OP_VISIT_BATCH = "vb"
+_OP_READ = "dr"
+_OP_WRITE = "dw"
+_OP_READ_STRIDED = "drs"
+_OP_RECORD_DONE = "rd"
+_OP_ROWS = "rp"
+
+
+def fork_available() -> bool:
+    """True when fork-based process pools are usable on this platform."""
+    try:
+        import multiprocessing
+        return "fork" in multiprocessing.get_all_start_methods()
+    except Exception:  # pragma: no cover - exotic platforms
+        return False
+
+
+class _TapeProcessor:
+    """Processor stand-in that records data-side charges instead of
+    simulating them.  Only the methods the scan data path issues exist; the
+    recorded arguments are data-deterministic, so replaying them against the
+    real processor reproduces the serial trace exactly."""
+
+    __slots__ = ("ops",)
+
+    def __init__(self, ops: List[ChargeOp]) -> None:
+        self.ops = ops
+
+    def data_read(self, address: int, size: int = 4) -> int:
+        self.ops.append((_OP_READ, address, size))
+        return 0
+
+    def data_write(self, address: int, size: int = 4) -> int:
+        self.ops.append((_OP_WRITE, address, size))
+        return 0
+
+    def data_read_strided(self, address: int, stride: int, count: int,
+                          size: int = 4) -> int:
+        self.ops.append((_OP_READ_STRIDED, address, stride, count, size))
+        return 0
+
+    def record_done(self, count: int = 1) -> None:
+        self.ops.append((_OP_RECORD_DONE, count))
+
+
+class TapeRecorder:
+    """Execution-context stand-in used by morsel workers.
+
+    Exposes exactly the surface a vectorized *scan* touches: routine visits,
+    batched visits, column/record reads (inherited data-decoding logic from
+    :class:`~repro.execution.context.ExecutionContext` via delegation to the
+    real methods), record/row bookkeeping.  Every charge is appended to
+    :attr:`ops`; the data values flow back to the operator unchanged.
+
+    It deliberately does **not** allocate anything from an address space and
+    owns no simulated hardware -- constructing one has no side effects on
+    shared state, which is what makes the ``inline`` backend byte-identical
+    too.
+    """
+
+    def __init__(self, profile: SystemProfile,
+                 charge_mode: str = CHARGE_SPAN) -> None:
+        self.profile = profile
+        self.charge_mode = charge_mode
+        self._span_charging = charge_mode == CHARGE_SPAN
+        self.ops: List[ChargeOp] = []
+        self.processor = _TapeProcessor(self.ops)
+        self.rows_produced = 0
+        self.op_invocations: Dict[str, int] = {}
+
+    # -- charge recording ---------------------------------------------------
+    def visit(self, operation: str, data_taken: Optional[bool] = None,
+              repeat: int = 1) -> None:
+        self.op_invocations[operation] = self.op_invocations.get(operation, 0) + repeat
+        self.ops.append((_OP_VISIT, operation, data_taken, repeat))
+
+    def visit_batch(self, operation: str, count: int) -> None:
+        if count <= 0:
+            return
+        self.op_invocations[operation] = self.op_invocations.get(operation, 0) + 1
+        self.ops.append((_OP_VISIT_BATCH, operation, count))
+
+    def read_address(self, address: int, size: int = 4) -> None:
+        self.ops.append((_OP_READ, address, size))
+
+    def write_address(self, address: int, size: int = 4) -> None:
+        self.ops.append((_OP_WRITE, address, size))
+
+    def record_done(self, count: int = 1) -> None:
+        self.ops.append((_OP_RECORD_DONE, count))
+
+    def row_produced(self, count: int = 1) -> None:
+        self.rows_produced += count
+        self.ops.append((_OP_ROWS, count))
+
+    def take(self) -> List[ChargeOp]:
+        """Return and clear the ops recorded since the last call."""
+        ops = self.ops
+        if not ops:
+            return []
+        taken = list(ops)
+        ops.clear()
+        return taken
+
+    # -- data access (delegated to the real implementations) ---------------
+    # The real ExecutionContext methods only use self.processor,
+    # self.profile and self._span_charging, so they run unmodified against
+    # the recording processor and return the decoded data values.
+    from .context import ExecutionContext as _Ctx
+    read_column_batch = _Ctx.read_column_batch
+    read_column_group_batch = _Ctx.read_column_group_batch
+    read_fields = _Ctx.read_fields
+    read_record = _Ctx.read_record
+    _charge_nsm_stride = _Ctx._charge_nsm_stride
+    _touch_pax_record = _Ctx._touch_pax_record
+    del _Ctx
+
+
+def replay_tape(ops: Sequence[ChargeOp], ctx) -> None:
+    """Replay recorded charges against a real execution context, in order.
+
+    The replayed calls are exactly the calls a serial scan would have made,
+    so the simulated hardware (and the context's invocation counters) end up
+    in the identical state.
+    """
+    processor = ctx.processor
+    visit = ctx.visit
+    visit_batch = ctx.visit_batch
+    data_read = processor.data_read
+    data_read_strided = processor.data_read_strided
+    for op in ops:
+        tag = op[0]
+        if tag == _OP_READ_STRIDED:
+            data_read_strided(op[1], op[2], op[3], op[4])
+        elif tag == _OP_READ:
+            data_read(op[1], op[2])
+        elif tag == _OP_VISIT_BATCH:
+            visit_batch(op[1], op[2])
+        elif tag == _OP_VISIT:
+            visit(op[1], op[2], op[3])
+        elif tag == _OP_RECORD_DONE:
+            ctx.record_done(op[1])
+        elif tag == _OP_ROWS:
+            ctx.row_produced(op[1])
+        elif tag == _OP_WRITE:
+            processor.data_write(op[1], op[2])
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown tape op {op!r}")
+
+
+# ---------------------------------------------------------------------------
+# Morsels
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class MorselSpec:
+    """A self-contained description of one scan morsel (picklable)."""
+
+    table: str
+    page_start: int
+    page_stop: int
+    predicate: object
+    output_columns: Tuple[str, ...]
+    next_operation: str
+    batch_size: int
+    count_records: bool
+    charge_mode: str
+    profile: SystemProfile
+
+
+@dataclass
+class MorselResult:
+    """Batches (columns + length) and tape segments of one morsel.
+
+    ``batches`` holds ``(columns, length, ops)`` triples in production
+    order; ``trailing_ops`` are charges issued after the last batch (e.g.
+    page-boundary visits of trailing empty pages).
+    """
+
+    batches: List[Tuple[Dict[str, list], int, List[ChargeOp]]] = field(default_factory=list)
+    trailing_ops: List[ChargeOp] = field(default_factory=list)
+
+
+def partition_pages(page_count: int, morsel_pages: int) -> List[Tuple[int, int]]:
+    """Split ``page_count`` pages into contiguous ``[start, stop)`` morsels."""
+    if page_count <= 0:
+        return []
+    morsel_pages = max(morsel_pages, 1)
+    return [(start, min(start + morsel_pages, page_count))
+            for start in range(0, page_count, morsel_pages)]
+
+
+#: Database snapshot inherited by forked pool workers.  Set by the parent
+#: immediately before the pool forks; never mutated afterwards.
+_FORK_DATABASE = None
+
+
+def _run_scan_morsel(spec: MorselSpec) -> MorselResult:
+    """Worker entry point: execute one scan morsel against a tape recorder."""
+    database = _FORK_DATABASE
+    return _run_scan_morsel_on(database, spec)
+
+
+def _run_scan_morsel_on(database, spec: MorselSpec) -> MorselResult:
+    from .vectorized import VecSeqScanOperator
+    table = database.catalog.table(spec.table)
+    recorder = TapeRecorder(spec.profile, spec.charge_mode)
+    operator = VecSeqScanOperator(
+        table, recorder, predicate=spec.predicate,
+        output_columns=spec.output_columns,
+        next_operation=spec.next_operation,
+        batch_size=spec.batch_size,
+        count_records=spec.count_records,
+        page_range=(spec.page_start, spec.page_stop))
+    result = MorselResult()
+    for batch in operator.batches():
+        result.batches.append((batch.columns, batch.length, recorder.take()))
+    result.trailing_ops = recorder.take()
+    return result
+
+
+# ---------------------------------------------------------------------------
+# The executor
+# ---------------------------------------------------------------------------
+class ParallelExecution:
+    """Morsel scheduler bound to one database.
+
+    ``workers`` is the degree of parallelism; ``backend`` is ``"process"``
+    (fork-based pool; falls back to ``"inline"`` where fork is unavailable)
+    or ``"inline"`` (same morsel pipeline, executed in-process).  Results
+    are always consumed in canonical morsel order, so the backend choice --
+    and any racing between pool workers -- cannot influence a single
+    simulated count.
+    """
+
+    def __init__(self, database, workers: int, backend: str = "process",
+                 morsel_pages: Optional[int] = None) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        if backend not in ("process", "inline"):
+            raise ValueError(f"unknown parallel backend {backend!r}")
+        if backend == "process" and not fork_available():
+            backend = "inline"
+        self.database = database
+        self.workers = workers
+        self.backend = backend
+        self.morsel_pages = morsel_pages
+        self._pool = None
+        self._pool_stale = False
+
+    # -- lifecycle ----------------------------------------------------------
+    def _ensure_pool(self):
+        if self._pool_stale and self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+            self._pool_stale = False
+        if self._pool is None:
+            import multiprocessing
+            from concurrent.futures import ProcessPoolExecutor
+            global _FORK_DATABASE
+            _FORK_DATABASE = self.database
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=multiprocessing.get_context("fork"))
+            # Worker processes are forked lazily; force them to spawn now,
+            # while the module-global snapshot points at *our* database
+            # (another executor could repoint it before a lazy fork).
+            for future in [self._pool.submit(os.getpid)
+                           for _ in range(self.workers)]:
+                future.result()
+        return self._pool
+
+    def invalidate_snapshot(self) -> None:
+        """Mark the forked database snapshot stale (after any update).
+
+        The next morsel dispatch re-forks the pool so workers see current
+        data.  The inline backend always reads live data and ignores this.
+        """
+        self._pool_stale = True
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+        global _FORK_DATABASE
+        if _FORK_DATABASE is self.database:
+            _FORK_DATABASE = None
+
+    def __enter__(self) -> "ParallelExecution":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- scheduling ---------------------------------------------------------
+    def default_morsel_pages(self, page_count: int) -> int:
+        if self.morsel_pages is not None:
+            return max(self.morsel_pages, 1)
+        # Aim for a few morsels per worker so stragglers even out, without
+        # drowning in per-morsel dispatch overhead.
+        return max(1, -(-page_count // (self.workers * 4)))
+
+    def run_morsels(self, specs: Sequence[MorselSpec]) -> Iterator[MorselResult]:
+        """Execute morsels, yielding results in submission (canonical) order."""
+        if not specs:
+            return
+        if self.backend == "inline" or len(specs) == 1:
+            database = self.database
+            for spec in specs:
+                yield _run_scan_morsel_on(database, spec)
+            return
+        pool = self._ensure_pool()
+        futures = [pool.submit(_run_scan_morsel, spec) for spec in specs]
+        for future in futures:
+            yield future.result()
+
+
+# ---------------------------------------------------------------------------
+# The exchange operator
+# ---------------------------------------------------------------------------
+class VecExchangeOperator:
+    """Partitions a sequential scan into page morsels and merges the
+    workers' batches (and their charge tapes) back in canonical order.
+
+    Downstream operators cannot tell it apart from the
+    :class:`~repro.execution.vectorized.VecSeqScanOperator` it shadows: the
+    batches arrive in the same order with the same contents, and the charge
+    tape replay drives the real context through the exact serial sequence.
+    """
+
+    def __init__(self, table, ctx, parallel: ParallelExecution,
+                 predicate=None, output_columns: Sequence[str] = (),
+                 next_operation: str = "scan_next", batch_size: int = 256,
+                 count_records: bool = True) -> None:
+        self.table = table
+        self.ctx = ctx
+        self.parallel = parallel
+        self.predicate = predicate
+        self.output_columns = tuple(output_columns)
+        self.next_operation = next_operation
+        self.batch_size = batch_size
+        self.count_records = count_records
+
+    # VectorOperator protocol ------------------------------------------------
+    def batches(self):
+        from .vectorized import ColumnBatch
+        parallel = self.parallel
+        page_count = self.table.heap.page_count
+        morsel_pages = parallel.default_morsel_pages(page_count)
+        specs = [MorselSpec(table=self.table.name, page_start=start,
+                            page_stop=stop, predicate=self.predicate,
+                            output_columns=self.output_columns,
+                            next_operation=self.next_operation,
+                            batch_size=self.batch_size,
+                            count_records=self.count_records,
+                            charge_mode=self.ctx.charge_mode,
+                            profile=self.ctx.profile)
+                 for start, stop in partition_pages(page_count, morsel_pages)]
+        ctx = self.ctx
+        for result in parallel.run_morsels(specs):
+            for columns, length, ops in result.batches:
+                replay_tape(ops, ctx)
+                yield ColumnBatch(columns, length)
+            if result.trailing_ops:
+                replay_tape(result.trailing_ops, ctx)
+
+    def rows(self):
+        for batch in self.batches():
+            yield from batch.to_rows()
+
+    def __iter__(self):
+        return self.rows()

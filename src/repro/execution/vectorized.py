@@ -201,13 +201,18 @@ class VecSeqScanOperator(VectorOperator):
                  output_columns: Sequence[str] = (),
                  next_operation: str = "scan_next",
                  batch_size: int = 256,
-                 count_records: bool = True) -> None:
+                 count_records: bool = True,
+                 page_range: Optional[Tuple[int, int]] = None) -> None:
         self.table = table
         self.ctx = ctx
         self.predicate = predicate
         self.next_operation = next_operation
         self.batch_size = batch_size
         self.count_records = count_records
+        #: Optional ``[start, stop)`` restriction over the heap's page
+        #: sequence -- the unit the morsel-parallel exchange partitions on.
+        #: ``None`` scans every page (the serial engine's behaviour).
+        self.page_range = page_range
         predicate_columns = sorted(c.split(".")[-1]
                                    for c in (predicate.columns() if predicate else ()))
         outputs = sorted({c.split(".")[-1] for c in output_columns})
@@ -221,7 +226,11 @@ class VecSeqScanOperator(VectorOperator):
         layout = table.layout
         predicate = self.predicate
         names = self.predicate_columns
-        for page, slots in table.heap.scan_pages():
+        if self.page_range is not None:
+            pages = table.heap.scan_pages(*self.page_range)
+        else:
+            pages = table.heap.scan_pages()
+        for page, slots in pages:
             ctx.visit("page_boundary")
             for chunk in _chunked(slots, self.batch_size):
                 count = len(chunk)
@@ -618,10 +627,28 @@ class VecScalarAggregateOperator(VectorOperator):
 def build_vectorized_scan(plan: ScanPlan, catalog: Catalog, ctx: ExecutionContext,
                           output_columns: Sequence[str] = (),
                           next_operation: str = "scan_next",
-                          batch_size: int = 256) -> VectorOperator:
-    """Instantiate a scan plan node into a vectorized operator."""
+                          batch_size: int = 256,
+                          allow_exchange: bool = True) -> VectorOperator:
+    """Instantiate a scan plan node into a vectorized operator.
+
+    When the context carries a morsel-parallel executor (``ctx.parallel``,
+    threaded from the session's ``parallelism`` knob), sequential scans are
+    wrapped in a :class:`~repro.execution.parallel.VecExchangeOperator`,
+    which partitions the heap into page morsels, produces the batches in
+    workers and replays their charge tapes in canonical order -- results
+    and simulated counts stay bit-identical to the serial operator.
+    ``allow_exchange=False`` pins a scan to the serial path (rescanned
+    nested-loop inners, update lookups).
+    """
     if isinstance(plan, SeqScanPlan):
         table = catalog.table(plan.table)
+        parallel = getattr(ctx, "parallel", None)
+        if allow_exchange and parallel is not None and parallel.workers > 1:
+            from .parallel import VecExchangeOperator  # deferred: imports us
+            return VecExchangeOperator(
+                table, ctx, parallel, predicate=plan.predicate,
+                output_columns=ctx.columns_for_table(table, output_columns),
+                next_operation=next_operation, batch_size=batch_size)
         return VecSeqScanOperator(table, ctx, predicate=plan.predicate,
                                   output_columns=ctx.columns_for_table(table, output_columns),
                                   next_operation=next_operation,
@@ -667,9 +694,13 @@ def build_vectorized_join(plan: JoinPlan, catalog: Catalog, ctx: ExecutionContex
                                       batch_size=batch_size)
 
         def inner_factory() -> VectorOperator:
+            # The inner side is re-instantiated once per outer batch; keep
+            # it on the serial path (per-batch morsel dispatch would cost
+            # more than the rescan it parallelises).
             return build_vectorized_scan(plan.inner, catalog, ctx, inner_columns,
                                          next_operation="inner_scan_next",
-                                         batch_size=batch_size)
+                                         batch_size=batch_size,
+                                         allow_exchange=False)
 
         return VecNestedLoopJoinOperator(outer, inner_factory, plan.outer_column,
                                          plan.inner_column, ctx)

@@ -30,6 +30,7 @@ from ..analysis.breakdown import ExecutionBreakdown
 from ..analysis.metrics import QueryMetrics, compute_metrics
 from ..engine.database import Database
 from ..engine.session import QueryResult, Session
+from ..execution.parallel import fork_available
 from ..hardware.os_interference import OSInterferenceConfig
 from ..hardware.specs import PENTIUM_II_XEON, ProcessorSpec
 from ..systems.profile import SystemProfile
@@ -41,6 +42,17 @@ from ..workloads.tpcd import TPCDConfig, TPCDWorkload
 
 #: The three microbenchmark query kinds, using the paper's abbreviations.
 QUERY_KINDS = ("SRS", "IRS", "SJ")
+
+
+#: Runner inherited by forked grid workers (set only around a dispatch).
+_GRID_RUNNER: Optional["ExperimentRunner"] = None
+
+
+def _grid_cell_task(cell: Tuple[str, str, str], system_key: str) -> "QueryResult":
+    """Worker entry point: measure one grid cell on the forked runner."""
+    runner = _GRID_RUNNER
+    engine, layout, kind = cell
+    return runner.grid_cell(engine, layout, kind, system_key=system_key)
 
 #: Systems measured for the TPC-D comparison (the paper ran A, B and D).
 TPCD_SYSTEMS = ("A", "B", "D")
@@ -73,6 +85,13 @@ class ExperimentConfig:
     selectivity_points: Tuple[float, ...] = SELECTIVITY_POINTS
     record_size_points: Tuple[int, ...] = RECORD_SIZE_POINTS
     record_size_systems: Tuple[str, ...] = ("C", "D")
+    #: Morsel parallelism inside each measured session (the ``workers=N``
+    #: exchange; simulated counts are identical for every N by design).
+    parallelism: int = 1
+    #: Process-level parallelism across independent grid cells
+    #: (engine x layout x query); cells are dispatched to a fork-based
+    #: pool that inherits the warmed database builds.
+    grid_workers: int = 1
 
     def os_config(self) -> Optional[OSInterferenceConfig]:
         return OSInterferenceConfig() if self.os_interference else None
@@ -102,6 +121,13 @@ class ExperimentRunner:
         self._record_size_dbs: Dict[int, Tuple[Database, MicroWorkload]] = {}
         self._tpcd_results: Dict[str, QueryResult] = {}
         self._tpcc_results: Dict[str, TPCCResult] = {}
+        # One warmed (R + S + selection index) build per page layout, shared
+        # by every grid cell; the address-space checkpoint taken right after
+        # the build lets each cell's session roll the allocator back, so a
+        # cell measured against the cached build is bit-identical to one
+        # measured against a fresh build.
+        self._grid_dbs: Dict[str, Tuple[Database, Dict[str, int]]] = {}
+        self._grid_results: Dict[Tuple[str, str, str, str], QueryResult] = {}
 
     # ----------------------------------------------------------- workloads
     @property
@@ -259,6 +285,104 @@ class ExperimentRunner:
             self._tpcc_results[key] = TPCCResult(system=key, breakdown=breakdown,
                                                  metrics=metrics, transactions=executed)
         return self._tpcc_results[key]
+
+    # -------------------------------------------------- engine x layout grid
+    def grid_database(self, layout: str) -> Tuple[Database, Dict[str, int]]:
+        """The warmed microbenchmark build for one page layout.
+
+        Built exactly once per layout (R, S, selection index) and shared by
+        every grid cell; returns the database plus the address-space
+        checkpoint taken immediately after the build.
+        """
+        cached = self._grid_dbs.get(layout)
+        if cached is None:
+            workload = self.micro_workload
+            database = workload.build(layout_style=layout)
+            workload.create_selection_index(database)
+            cached = (database, database.address_space.checkpoint())
+            self._grid_dbs[layout] = cached
+        return cached
+
+    def grid_session(self, engine: str, layout: str,
+                     system_key: str = "B") -> Session:
+        """A measurement session against the cached grid build.
+
+        The address space is rolled back to the post-build checkpoint
+        first, so the session's transient allocations (code layout,
+        workspace) land at the same addresses as against a fresh build --
+        simulated counts cannot depend on how many cells ran before.
+        """
+        database, checkpoint = self.grid_database(layout)
+        database.address_space.restore(checkpoint)
+        return Session(database, system_by_key(system_key), spec=self.config.spec,
+                       os_interference=self.config.os_config(), engine=engine,
+                       parallelism=self.config.parallelism)
+
+    def grid_cell(self, engine: str, layout: str, kind: str,
+                  system_key: str = "B") -> QueryResult:
+        """Measure one engine x layout x query cell (cold, warmup_runs=0)."""
+        key = (engine, layout, kind, system_key.upper())
+        cached = self._grid_results.get(key)
+        if cached is not None:
+            return cached
+        if kind not in QUERY_KINDS:
+            raise ValueError(f"unknown query kind {kind!r}; expected one of {QUERY_KINDS}")
+        workload = self.micro_workload
+        if kind == "SRS":
+            query = workload.sequential_range_selection()
+        elif kind == "IRS":
+            query = workload.indexed_range_selection()
+        else:
+            query = workload.sequential_join()
+        with self.grid_session(engine, layout, system_key) as session:
+            result = session.execute(query, warmup_runs=0)
+        self._grid_results[key] = result
+        return result
+
+    def micro_grid(self,
+                   engines: Sequence[str] = ("tuple", "vectorized"),
+                   layouts: Sequence[str] = ("nsm", "pax"),
+                   kinds: Sequence[str] = QUERY_KINDS,
+                   system_key: str = "B",
+                   grid_workers: Optional[int] = None
+                   ) -> Dict[Tuple[str, str, str], QueryResult]:
+        """Measure the full engine x layout x query grid.
+
+        Cells are independent measurements (each rolls the shared warmed
+        build back to its post-build checkpoint), so they can be dispatched
+        to a fork-based process pool: ``grid_workers`` (defaulting to the
+        config knob) > 1 fans cells out to worker processes that inherit
+        the warmed builds through fork.  Cell results are identical under
+        serial and parallel dispatch.
+        """
+        cells = [(engine, layout, kind) for engine in engines
+                 for layout in layouts for kind in kinds]
+        workers = self.config.grid_workers if grid_workers is None else grid_workers
+        pending = [cell for cell in cells
+                   if (cell[0], cell[1], cell[2], system_key.upper())
+                   not in self._grid_results]
+        if workers > 1 and len(pending) > 1 and fork_available():
+            # Build every needed database before forking so workers inherit
+            # the warmed builds instead of rebuilding per process.
+            for layout in {layout for _, layout, _ in pending}:
+                self.grid_database(layout)
+            import multiprocessing
+            from concurrent.futures import ProcessPoolExecutor
+            global _GRID_RUNNER
+            _GRID_RUNNER = self
+            try:
+                with ProcessPoolExecutor(
+                        max_workers=min(workers, len(pending)),
+                        mp_context=multiprocessing.get_context("fork")) as pool:
+                    futures = {cell: pool.submit(_grid_cell_task, cell, system_key)
+                               for cell in pending}
+                    for cell, future in futures.items():
+                        key = (cell[0], cell[1], cell[2], system_key.upper())
+                        self._grid_results[key] = future.result()
+            finally:
+                _GRID_RUNNER = None
+        return {cell: self.grid_cell(*cell, system_key=system_key)
+                for cell in cells}
 
     # -------------------------------------------------------------- helpers
     def selected_records(self, selectivity: Optional[float] = None) -> int:

@@ -45,6 +45,16 @@ class BranchStats:
     def btb_miss_rate(self) -> float:
         return self.btb_misses / self.branches if self.branches else 0.0
 
+    def merge(self, other: "BranchStats") -> "BranchStats":
+        """Commutatively fold ``other``'s counts into this instance (sums
+        only, so merge order cannot matter).  Returns ``self``."""
+        self.branches += other.branches
+        self.taken += other.taken
+        self.mispredictions += other.mispredictions
+        self.btb_hits += other.btb_hits
+        self.btb_misses += other.btb_misses
+        return self
+
     def as_dict(self) -> dict:
         return {
             "branches": self.branches,

@@ -91,6 +91,22 @@ class CacheStats:
         if misses:
             self.misses[port] += misses
 
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        """Commutatively fold ``other``'s counts into this instance.
+
+        Every field is a sum, so merging worker-local statistics in any
+        order yields the same totals -- the property the morsel-parallel
+        subsystem relies on when it combines per-worker hardware state
+        (``tests/test_parallel_execution.py`` asserts it under random
+        permutations).  Returns ``self`` for chaining.
+        """
+        for port in range(len(self.accesses)):
+            self.accesses[port] += other.accesses[port]
+            self.misses[port] += other.misses[port]
+        self.writebacks += other.writebacks
+        self.invalidations += other.invalidations
+        return self
+
     def miss_rate(self, port: Optional[int] = None) -> float:
         """Miss ratio overall or for a specific port (0.0 when unused)."""
         if port is None:

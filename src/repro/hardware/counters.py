@@ -158,6 +158,21 @@ class EventCounters:
             out.sup[event] = out.sup.get(event, 0) + count
         return out
 
+    def merge(self, other: "EventCounters") -> "EventCounters":
+        """Commutatively fold ``other``'s counts into this register file.
+
+        In-place counterpart of :meth:`merged_with`: every event is a plain
+        sum, so folding any permutation of worker-local (or per-cell)
+        snapshots produces identical totals -- the property the
+        morsel-parallel subsystem and the benchmark grid rely on when
+        combining results.  Returns ``self`` for chaining/``reduce``.
+        """
+        for event, count in other.user.items():
+            self.user[event] = self.user.get(event, 0) + count
+        for event, count in other.sup.items():
+            self.sup[event] = self.sup.get(event, 0) + count
+        return self
+
     def scaled(self, factor: float) -> "EventCounters":
         """Scale every count by ``factor`` (used for per-query averages)."""
         out = EventCounters()

@@ -111,6 +111,59 @@ class SimulatedProcessor:
             user["ITLB_MISS"] = user.get("ITLB_MISS", 0) + itlb_misses
         return l1i_misses
 
+    def fetch_code_run(self, line_addr: int, count: int) -> int:
+        """Fetch ``count`` *consecutive* instruction lines starting at the
+        line-aligned ``line_addr``; returns the L1I miss count.
+
+        Code segments are contiguous by construction (hot code is one run,
+        cold code rotates through a contiguous pool), so this is the shape
+        of every executor code fetch.  Count-identical to
+        :meth:`fetch_code` over the expanded line tuple -- the ITLB is
+        consulted once per page *transition* (at the first line of each new
+        page) and the L1I once per line -- but the ITLB work collapses to
+        O(pages) and no line tuple is materialised (the cache iterates a
+        ``range``).
+        """
+        if count <= 0:
+            return 0
+        caches = self.caches
+        counters = self.counters
+        itlb = self.itlb
+        page_shift = itlb._page_shift
+        line_bytes = caches.l1i.spec.line_bytes
+        last_page = self._last_instruction_page
+        itlb_misses = 0
+        first_page = line_addr >> page_shift
+        last_line = line_addr + (count - 1) * line_bytes
+        # One ITLB consultation per page the run moves onto, issued at the
+        # address of the first line inside that page (exactly what the
+        # per-line loop of :meth:`fetch_code` does for an ascending run).
+        if first_page != last_page:
+            itlb_misses += itlb.access(line_addr)
+        for page in range(first_page + 1, (last_line >> page_shift) + 1):
+            itlb_misses += itlb.access(page << page_shift)
+        self._last_instruction_page = last_line >> page_shift
+
+        l2 = caches.l2
+        l2i_misses_before = l2.stats.misses[2]
+        l1i_misses = caches.fetch_lines(
+            range(line_addr, line_addr + count * line_bytes, line_bytes))
+
+        l2i_misses = l2.stats.misses[2] - l2i_misses_before
+        user = counters.user
+        user["IFU_IFETCH"] = user.get("IFU_IFETCH", 0) + count
+        if l1i_misses:
+            user["IFU_IFETCH_MISS"] = user.get("IFU_IFETCH_MISS", 0) + l1i_misses
+            user["L2_IFETCH"] = user.get("L2_IFETCH", 0) + l1i_misses
+            stall = (l1i_misses * self.spec.pipeline.l1i_fetch_stall_cycles
+                     + l2i_misses * self.spec.memory.latency_cycles)
+            self._l1i_stall_cycles += stall
+        if l2i_misses:
+            user["L2_IFETCH_MISS"] = user.get("L2_IFETCH_MISS", 0) + l2i_misses
+        if itlb_misses:
+            user["ITLB_MISS"] = user.get("ITLB_MISS", 0) + itlb_misses
+        return l1i_misses
+
     def retire(self, instructions: int, uops: int = 0, mode: str = MODE_USER) -> None:
         """Retire ``instructions`` x86 instructions (``uops`` micro-operations).
 
@@ -132,6 +185,38 @@ class SimulatedProcessor:
         bank["INST_DECODED"] = bank.get("INST_DECODED", 0) + instructions
         bank["UOPS_RETIRED"] = bank.get("UOPS_RETIRED", 0) + uops
         if self.os is not None and mode == MODE_USER:
+            fired = self.os.note_instructions(instructions)
+            if fired:
+                self._service_interrupts(fired)
+
+    def charge_routine(self, instructions: int, uops: int, data_refs: int,
+                       dep_stall: int, fu_stall: int, ild_stall: int,
+                       total_stall: int) -> None:
+        """Fused per-visit charge: retirement, L1D-hit references and
+        (pre-rounded) resource stalls in one counter pass.
+
+        Equivalent to ``retire(instructions, uops)`` +
+        ``count_data_refs(data_refs)`` + ``add_resource_stalls(...)`` with
+        the ``int(round(...))`` of the stall components hoisted to segment
+        construction -- the counter adds commute, so fusing them changes no
+        totals.  This is the executor's per-routine-visit path.
+        """
+        user = self.counters.user
+        user["INST_RETIRED"] = user.get("INST_RETIRED", 0) + instructions
+        user["INST_DECODED"] = user.get("INST_DECODED", 0) + instructions
+        user["UOPS_RETIRED"] = user.get("UOPS_RETIRED", 0) + uops
+        if data_refs:
+            user["DATA_MEM_REFS"] = user.get("DATA_MEM_REFS", 0) + data_refs
+        if total_stall:
+            if dep_stall:
+                user["PARTIAL_RAT_STALLS"] = user.get("PARTIAL_RAT_STALLS", 0) + dep_stall
+            if fu_stall:
+                user["FU_CONTENTION_STALLS"] = \
+                    user.get("FU_CONTENTION_STALLS", 0) + fu_stall
+            if ild_stall:
+                user["ILD_STALL"] = user.get("ILD_STALL", 0) + ild_stall
+            user["RESOURCE_STALLS"] = user.get("RESOURCE_STALLS", 0) + total_stall
+        if self.os is not None:
             fired = self.os.note_instructions(instructions)
             if fired:
                 self._service_interrupts(fired)

@@ -32,6 +32,13 @@ class TLBStats:
     def miss_rate(self) -> float:
         return self.misses / self.accesses if self.accesses else 0.0
 
+    def merge(self, other: "TLBStats") -> "TLBStats":
+        """Commutatively fold ``other``'s counts into this instance (sums
+        only, so merge order cannot matter).  Returns ``self``."""
+        self.accesses += other.accesses
+        self.misses += other.misses
+        return self
+
     def as_dict(self) -> dict:
         return {"accesses": self.accesses, "misses": self.misses, "miss_rate": self.miss_rate}
 

@@ -67,6 +67,16 @@ class ExecutionConfig:
     engine: str = ENGINE_TUPLE
     batch_size: int = DEFAULT_BATCH_SIZE
     charge_mode: str = CHARGE_SPAN
+    #: Degree of morsel parallelism for vectorized sequential scans.  1 (the
+    #: default) is the serial engine, byte-identical to previous releases;
+    #: N > 1 fans page morsels out to workers whose charge tapes are
+    #: replayed in canonical order, so results *and* simulated hardware
+    #: counts stay identical to ``workers=1`` (the differential harness
+    #: asserts this per plan shape).
+    workers: int = 1
+    #: Pages per morsel for the exchange operator (``None`` = derived from
+    #: the table size and worker count).
+    morsel_pages: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:
@@ -76,10 +86,18 @@ class ExecutionConfig:
         if self.charge_mode not in CHARGE_MODES:
             raise ValueError(f"unknown charge mode {self.charge_mode!r}; "
                              f"expected one of {CHARGE_MODES}")
+        if self.workers < 1:
+            raise ValueError("workers must be at least 1")
+        if self.morsel_pages is not None and self.morsel_pages < 1:
+            raise ValueError("morsel_pages must be at least 1 when set")
 
     @property
     def is_vectorized(self) -> bool:
         return self.engine == ENGINE_VECTORIZED
+
+    @property
+    def is_parallel(self) -> bool:
+        return self.workers > 1
 
     @property
     def uses_span_charging(self) -> bool:

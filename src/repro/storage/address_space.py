@@ -108,6 +108,28 @@ class AddressSpace:
         """Allocate ``size`` bytes in ``region`` and return the base address."""
         return self.region(region).allocate(size, alignment)
 
+    def checkpoint(self) -> Dict[str, int]:
+        """Snapshot every region's allocation cursor.
+
+        Together with :meth:`restore` this lets one warmed database be
+        reused across measurement sessions: each session's transient
+        allocations (workspace areas, code layouts) are rolled back before
+        the next session allocates, so every session sees the exact same
+        addresses -- and therefore the exact same cache-set geometry and
+        simulated counts -- as a session against a freshly built database.
+        """
+        return {name: region.cursor for name, region in self._regions.items()}
+
+    def restore(self, cursors: Dict[str, int]) -> None:
+        """Roll allocation cursors back to a :meth:`checkpoint` snapshot."""
+        for name, cursor in cursors.items():
+            region = self.region(name)
+            if cursor > region.cursor:
+                raise AddressSpaceError(
+                    f"cannot restore region {name!r} forward "
+                    f"(checkpoint {cursor} > cursor {region.cursor})")
+            region.cursor = cursor
+
     def region_of(self, addr: int) -> Optional[str]:
         """Name of the region containing ``addr`` (``None`` if outside all)."""
         for name, region in self._regions.items():

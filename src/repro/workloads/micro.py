@@ -116,14 +116,21 @@ class MicroWorkload:
             yield i + 1, int(a2[i]), int(a3[i])
 
     def build(self, database: Optional[Database] = None,
-              include_s: bool = True) -> Database:
-        """Create and load R (and S) into ``database`` (a new one by default)."""
+              include_s: bool = True, layout_style: str = "nsm") -> Database:
+        """Create and load R (and S) into ``database`` (a new one by default).
+
+        ``layout_style`` selects the page organisation of both tables
+        (``"nsm"`` slotted pages or ``"pax"`` minipages) -- the layout axis
+        of the engine x layout benchmark grid.
+        """
         db = database or Database()
         columns = [("a1", ColumnType.INT32), ("a2", ColumnType.INT32), ("a3", ColumnType.INT32)]
-        db.create_table(self.R_TABLE, columns, record_size=self.config.record_size)
+        db.create_table(self.R_TABLE, columns, record_size=self.config.record_size,
+                        layout_style=layout_style)
         db.load(self.R_TABLE, self.generate_r_rows())
         if include_s:
-            db.create_table(self.S_TABLE, columns, record_size=self.config.record_size)
+            db.create_table(self.S_TABLE, columns, record_size=self.config.record_size,
+                            layout_style=layout_style)
             db.load(self.S_TABLE, self.generate_s_rows())
         return db
 

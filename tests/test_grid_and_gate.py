@@ -1,0 +1,172 @@
+"""The benchmark grid: warmed-build reuse, parallel cell dispatch and the
+``run_bench`` regression gate.
+
+The grid satellite's contract is that caching one warmed database build per
+layout changes *nothing*: the address-space checkpoint/restore makes a
+session against the cached build allocate at the same addresses as against
+a fresh build, so rows and simulated cycles are identical -- and therefore
+independent of how many cells ran before, which is what makes the cells
+independently dispatchable to a process pool.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+from repro.experiments.runner import ExperimentConfig, ExperimentRunner
+from repro.storage.address_space import AddressSpace, AddressSpaceError
+from repro.workloads.micro import MicroWorkloadConfig
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "scripts"))
+import run_bench  # noqa: E402
+
+
+TINY = MicroWorkloadConfig(scale=0.001)
+
+
+def tiny_runner() -> ExperimentRunner:
+    return ExperimentRunner(ExperimentConfig(micro=TINY, os_interference=False))
+
+
+# ---------------------------------------------------------------------------
+# Address-space checkpointing
+# ---------------------------------------------------------------------------
+class TestAddressSpaceCheckpoint:
+    def test_restore_replays_identical_addresses(self):
+        space = AddressSpace()
+        space.allocate("heap", 1000)
+        mark = space.checkpoint()
+        first = space.allocate("workspace", 512, alignment=64)
+        space.restore(mark)
+        second = space.allocate("workspace", 512, alignment=64)
+        assert first == second
+
+    def test_restore_refuses_forward_jumps(self):
+        space = AddressSpace()
+        mark = space.checkpoint()
+        mark["heap"] = 4096
+        with pytest.raises(AddressSpaceError):
+            space.restore(mark)
+
+    def test_restore_is_per_region(self):
+        space = AddressSpace()
+        space.allocate("heap", 100)
+        mark = space.checkpoint()
+        space.allocate("heap", 100)
+        space.allocate("index", 100)
+        space.restore(mark)
+        assert space.allocated_bytes("heap") == mark["heap"]
+        assert space.allocated_bytes("index") == 0
+
+
+# ---------------------------------------------------------------------------
+# Warmed-build reuse
+# ---------------------------------------------------------------------------
+class TestGridDatabaseReuse:
+    def test_grid_database_is_built_once_per_layout(self):
+        runner = tiny_runner()
+        db1, _ = runner.grid_database("nsm")
+        db2, _ = runner.grid_database("nsm")
+        db3, _ = runner.grid_database("pax")
+        assert db1 is db2
+        assert db3 is not db1
+
+    def test_cached_cell_identical_to_fresh_build(self):
+        """A cell measured against the shared warmed build must equal the
+        same cell measured by a brand-new runner (fresh build)."""
+        shared = tiny_runner()
+        # Burn several sessions against the shared build first.
+        shared.grid_cell("vectorized", "nsm", "SRS")
+        shared.grid_cell("tuple", "nsm", "IRS")
+        cached = shared.grid_cell("tuple", "nsm", "SJ")
+
+        fresh = tiny_runner().grid_cell("tuple", "nsm", "SJ")
+        assert cached.rows == fresh.rows
+        assert cached.counters.as_dict() == fresh.counters.as_dict()
+
+    def test_repeated_measurement_of_cached_cell_is_identical(self):
+        runner = tiny_runner()
+        first = runner.grid_cell("vectorized", "pax", "SRS")
+        runner._grid_results.clear()
+        second = runner.grid_cell("vectorized", "pax", "SRS")
+        assert first.rows == second.rows
+        assert first.counters.as_dict() == second.counters.as_dict()
+
+    def test_serial_and_parallel_dispatch_agree(self):
+        serial = tiny_runner().micro_grid(kinds=("SRS", "SJ"), layouts=("nsm",))
+        parallel = tiny_runner().micro_grid(kinds=("SRS", "SJ"), layouts=("nsm",),
+                                            grid_workers=3)
+        assert serial.keys() == parallel.keys()
+        for cell in serial:
+            assert serial[cell].rows == parallel[cell].rows
+            assert (serial[cell].counters.as_dict()
+                    == parallel[cell].counters.as_dict())
+
+
+# ---------------------------------------------------------------------------
+# run_bench: cached measurement loop + regression gate
+# ---------------------------------------------------------------------------
+class TestRunBench:
+    def measure(self, runner, repeat=2):
+        points = []
+        for engine in ("tuple", "vectorized"):
+            point = run_bench.measure_cell(runner, engine, "nsm", "SRS",
+                                           repeat=repeat)
+            point["_counters"] = point["_counters"].as_dict()
+            points.append(point)
+        return points
+
+    def test_measure_cell_asserts_repeat_identity(self):
+        runner = run_bench.make_runner(0.001)
+        points = self.measure(runner)
+        assert all(p["cycles"] > 0 for p in points)
+        assert points[0]["result_rows"] == points[1]["result_rows"]
+
+    def test_merged_grid_counters_sum_cycles(self):
+        runner = run_bench.make_runner(0.001)
+        points = self.measure(runner)
+        total = run_bench.merged_grid_counters(points)
+        assert total.get("INST_RETIRED") == sum(
+            p["_counters"]["INST_RETIRED"] for p in points)
+
+    def gate(self, points, baseline_points, tolerance=0.2):
+        return run_bench.compare_to_baseline(
+            points, {"configs": baseline_points}, tolerance)
+
+    def test_gate_passes_on_identical_reports(self):
+        runner = run_bench.make_runner(0.001)
+        points = self.measure(runner)
+        lines, violations, speedups = self.gate(points, points)
+        assert not violations
+        assert len(lines) == len(points) + 1
+        assert all(entry["speedup"] == 1.0 for entry in speedups.values())
+
+    def test_gate_fails_on_cycle_change(self):
+        runner = run_bench.make_runner(0.001)
+        points = self.measure(runner)
+        baseline = [dict(p) for p in points]
+        baseline[0]["cycles"] += 1
+        _, violations, _ = self.gate(points, baseline)
+        assert any("cycles changed" in v for v in violations)
+
+    def test_gate_fails_on_wall_regression_beyond_tolerance(self):
+        runner = run_bench.make_runner(0.001)
+        points = self.measure(runner)
+        baseline = [dict(p) for p in points]
+        baseline[0]["wall_seconds"] = points[0]["wall_seconds"] / 2.0
+        _, violations, _ = self.gate(points, baseline, tolerance=0.2)
+        assert any("wall clock regressed" in v for v in violations)
+        # ...but a generous tolerance lets the same delta through.
+        _, violations, _ = self.gate(points, baseline, tolerance=2.0)
+        assert not any("wall clock regressed" in v for v in violations)
+
+    def test_gate_ignores_cells_missing_from_baseline(self):
+        runner = run_bench.make_runner(0.001)
+        points = self.measure(runner)
+        _, violations, speedups = self.gate(points, points[:1])
+        assert not violations
+        assert len(speedups) == 1

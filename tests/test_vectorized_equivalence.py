@@ -244,6 +244,28 @@ def test_pax_and_nsm_return_identical_results():
 
 
 # ---------------------------------------------------------------------------
+# Morsel parallelism: identical rows and counts for every worker count
+# (the full per-shape matrix lives in tests/test_parallel_execution.py)
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("layout_style", ("nsm", "pax"))
+def test_parallel_workers_match_serial_engine(layout_style):
+    outcomes = {}
+    for workers in (1, 3):
+        db = build_database(layout_style=layout_style)
+        session = Session(db, SYSTEM_B, os_interference=None,
+                          engine="vectorized", parallelism=workers,
+                          parallel_backend="inline", morsel_pages=1)
+        result = session.execute(SelectionQuery(
+            table="R", aggregates=(avg("a3"), count_star()),
+            predicate=range_predicate("a2", 10, 40)), warmup_runs=0)
+        outcomes[workers] = (result.rows,
+                             result.counters.get("CPU_CLK_UNHALTED"),
+                             hardware_counts(session.processor))
+        session.close()
+    assert outcomes[3] == outcomes[1]
+
+
+# ---------------------------------------------------------------------------
 # Span charging vs per-address charging: identical hardware counts
 # ---------------------------------------------------------------------------
 def hardware_counts(processor: SimulatedProcessor) -> dict:
