@@ -3,8 +3,12 @@
 
 Runs the microbenchmark queries (sequential range selection, indexed range
 selection, sequential join) under every engine x layout combination
-(tuple/vectorized x NSM/PAX) and emits a ``BENCH_<stamp>.json`` recording,
-per configuration:
+(tuple/vectorized x NSM/PAX), plus the skewed-conjunct adaptivity cells
+("ACS": the vectorized engine under ``adaptivity`` off/static/greedy on
+both layouts, recording the greedy policy's branch-misprediction and cycle
+reduction over the static conjunct order), and emits a
+``BENCH_<stamp>.json`` into ``benchmarks/results/`` (gitignored; override
+with ``--out-dir``) recording, per configuration:
 
 * ``wall_seconds`` -- best-of-``--repeat`` wall-clock time of the measured
   execution (the *simulator's* speed, which is what caps how large a
@@ -55,6 +59,13 @@ ENGINES = ("tuple", "vectorized")
 LAYOUTS = ("nsm", "pax")
 QUERY_KINDS = ("SRS", "IRS", "SJ")
 
+#: Adaptivity modes measured on the skewed-conjunct selection ("ACS") cells:
+#: ``off`` anchors the bit-identity contract of the legacy path, ``static``
+#: is adaptive charging in planner order (the control arm), ``greedy`` is
+#: the runtime-reordered policy whose misprediction/cycle reduction the
+#: adaptivity experiment records.
+ADAPTIVE_MODES = ("off", "static", "greedy")
+
 #: The configuration whose wall clock the perf acceptance criteria track.
 HEADLINE = ("vectorized", "pax", "SRS")
 
@@ -70,11 +81,13 @@ def query_for(workload, kind: str):
         return workload.sequential_range_selection()
     if kind == "IRS":
         return workload.indexed_range_selection()
+    if kind == "ACS":
+        return workload.skewed_conjunct_selection()
     return workload.sequential_join()
 
 
 def measure_cell(runner: ExperimentRunner, engine: str, layout: str, kind: str,
-                 repeat: int) -> dict:
+                 repeat: int, adaptivity: str = "off") -> dict:
     """Best-of-``repeat`` wall clock against the cached warmed build.
 
     Every run rolls the shared build's address space back to its post-build
@@ -88,8 +101,14 @@ def measure_cell(runner: ExperimentRunner, engine: str, layout: str, kind: str,
     cycles = None
     rows = None
     counters = None
+    # Adaptive greedy/epsilon orderings depend on the morsel partitioning
+    # (only adaptivity="off" promises bit-identity to serial -- DESIGN.md),
+    # so the adaptive cells are pinned to a serial session to keep their
+    # cycles deterministic under --parallelism.
+    parallelism = 1 if adaptivity != "off" else None
     for _ in range(max(repeat, 1)):
-        with runner.grid_session(engine, layout) as session:
+        with runner.grid_session(engine, layout, adaptivity=adaptivity,
+                                 parallelism=parallelism) as session:
             start = time.perf_counter()
             result = session.execute(query, warmup_runs=0)
             elapsed = time.perf_counter() - start
@@ -98,13 +117,16 @@ def measure_cell(runner: ExperimentRunner, engine: str, layout: str, kind: str,
         run_cycles = result.counters.get("CPU_CLK_UNHALTED")
         if cycles is not None and (run_cycles != cycles or result.rows != rows):
             raise AssertionError(
-                f"cached-database run of {engine}/{layout}/{kind} diverged: "
-                f"cycles {run_cycles} vs {cycles}, rows equal: {result.rows == rows}")
+                f"cached-database run of {engine}/{layout}/{kind}/{adaptivity} "
+                f"diverged: cycles {run_cycles} vs {cycles}, "
+                f"rows equal: {result.rows == rows}")
         cycles = run_cycles
         rows = result.rows
         counters = result.counters
     return {"engine": engine, "layout": layout, "query": kind,
+            "adaptivity": adaptivity,
             "wall_seconds": round(best, 6), "cycles": cycles,
+            "branch_mispredictions": counters.get("BR_MISS_PRED_RETIRED"),
             "result_rows": rows,
             "_counters": counters}
 
@@ -114,22 +136,33 @@ _BENCH_RUNNER: Optional[ExperimentRunner] = None
 _BENCH_REPEAT = 1
 
 
-def _measure_cell_task(cell: Tuple[str, str, str]) -> dict:
-    point = measure_cell(_BENCH_RUNNER, *cell, repeat=_BENCH_REPEAT)
+def _measure_cell_task(cell: Tuple[str, str, str, str]) -> dict:
+    engine, layout, kind, adaptivity = cell
+    point = measure_cell(_BENCH_RUNNER, engine, layout, kind,
+                         repeat=_BENCH_REPEAT, adaptivity=adaptivity)
     point["_counters"] = point["_counters"].as_dict()
     return point
 
 
-def run_grid(runner: ExperimentRunner, repeat: int, grid_workers: int) -> List[dict]:
-    """Measure all 12 cells, serially or via a fork-based process pool."""
-    cells = [(engine, layout, kind) for engine in ENGINES
+def grid_cells() -> List[Tuple[str, str, str, str]]:
+    """The 12 engine x layout x query cells plus the adaptivity cells."""
+    cells = [(engine, layout, kind, "off") for engine in ENGINES
              for layout in LAYOUTS for kind in QUERY_KINDS]
+    cells.extend(("vectorized", layout, "ACS", mode)
+                 for layout in LAYOUTS for mode in ADAPTIVE_MODES)
+    return cells
+
+
+def run_grid(runner: ExperimentRunner, repeat: int, grid_workers: int) -> List[dict]:
+    """Measure all grid cells, serially or via a fork-based process pool."""
+    cells = grid_cells()
     if grid_workers > 1 and not fork_available():
         grid_workers = 1
     if grid_workers <= 1:
         points = []
-        for cell in cells:
-            point = measure_cell(runner, *cell, repeat=repeat)
+        for engine, layout, kind, adaptivity in cells:
+            point = measure_cell(runner, engine, layout, kind, repeat=repeat,
+                                 adaptivity=adaptivity)
             point["_counters"] = point["_counters"].as_dict()
             points.append(point)
         return points
@@ -158,6 +191,49 @@ def merged_grid_counters(points: List[dict]) -> EventCounters:
     return total
 
 
+def _cell_key(point: dict) -> Tuple[str, str, str, str]:
+    """Identity of one grid cell; old baselines without the adaptivity
+    field compare as ``"off"`` cells."""
+    return (point["engine"], point["layout"], point["query"],
+            point.get("adaptivity", "off"))
+
+
+def _cell_name(point: dict) -> str:
+    name = "/".join((point["engine"], point["layout"], point["query"]))
+    adaptivity = point.get("adaptivity", "off")
+    if adaptivity != "off":
+        name += f"/{adaptivity}"
+    return name
+
+
+def adaptivity_summary(points: List[dict]) -> Dict[str, dict]:
+    """Greedy-vs-static misprediction and cycle reductions per layout.
+
+    This is the paper-facing payoff of the adaptive subsystem: the
+    recorded evidence that runtime conjunct reordering removes simulated
+    branch mispredictions (and their cycles) that the static order pays.
+    """
+    by_key = {_cell_key(p): p for p in points}
+    summary: Dict[str, dict] = {}
+    for layout in LAYOUTS:
+        static = by_key.get(("vectorized", layout, "ACS", "static"))
+        greedy = by_key.get(("vectorized", layout, "ACS", "greedy"))
+        if static is None or greedy is None:
+            continue
+        summary[layout] = {
+            "static_mispredictions": static["branch_mispredictions"],
+            "greedy_mispredictions": greedy["branch_mispredictions"],
+            "misprediction_reduction": round(
+                1.0 - greedy["branch_mispredictions"]
+                / max(static["branch_mispredictions"], 1), 4),
+            "static_cycles": static["cycles"],
+            "greedy_cycles": greedy["cycles"],
+            "cycle_reduction": round(
+                1.0 - greedy["cycles"] / max(static["cycles"], 1), 4),
+        }
+    return summary
+
+
 # ---------------------------------------------------------------------------
 # Regression gate
 # ---------------------------------------------------------------------------
@@ -174,18 +250,17 @@ def compare_to_baseline(points: List[dict], baseline: dict,
     always gate.  Cells absent from the baseline are reported but never
     gate.
     """
-    baseline_points = {(c["engine"], c["layout"], c["query"]): c
-                       for c in baseline.get("configs", ())}
-    lines = [f"{'cell':>26s} {'wall before':>12s} {'wall after':>11s} "
+    baseline_points = {_cell_key(c): c for c in baseline.get("configs", ())}
+    lines = [f"{'cell':>30s} {'wall before':>12s} {'wall after':>11s} "
              f"{'speedup':>8s}  cycles"]
     violations: List[str] = []
     speedups: Dict[str, dict] = {}
     for point in points:
-        key = (point["engine"], point["layout"], point["query"])
-        name = "/".join(key)
+        key = _cell_key(point)
+        name = _cell_name(point)
         before = baseline_points.get(key)
         if before is None:
-            lines.append(f"{name:>26s} {'-':>12s} {point['wall_seconds']:>11.3f} "
+            lines.append(f"{name:>30s} {'-':>12s} {point['wall_seconds']:>11.3f} "
                          f"{'new':>8s}  {point['cycles']:,}")
             continue
         wall_before = before["wall_seconds"]
@@ -195,7 +270,7 @@ def compare_to_baseline(points: List[dict], baseline: dict,
         cycle_note = "identical" if cycles_match else (
             f"CHANGED {before['cycles']:,} -> {point['cycles']:,}")
         speedup_note = f"{speedup:>7.2f}x" if speedup is not None else f"{'-':>8s}"
-        lines.append(f"{name:>26s} {wall_before:>12.3f} {wall_after:>11.3f} "
+        lines.append(f"{name:>30s} {wall_before:>12.3f} {wall_after:>11.3f} "
                      f"{speedup_note}  {cycle_note}")
         speedups[name] = {
             "before_wall_seconds": wall_before,
@@ -243,9 +318,13 @@ def main() -> int:
                              "(fork-based; 1 = serial)")
     parser.add_argument("--parallelism", type=int, default=1,
                         help="morsel-parallel workers inside each vectorized "
-                             "session (cycles are identical for every value)")
+                             "session (cycles are identical for every value; "
+                             "the adaptive ACS cells are always measured "
+                             "serially, since greedy orderings depend on the "
+                             "morsel partitioning)")
     parser.add_argument("--out-dir", default=None,
-                        help="directory for BENCH_<stamp>.json (default: repo root)")
+                        help="directory for BENCH_<stamp>.json "
+                             "(default: benchmarks/results/, gitignored)")
     args = parser.parse_args()
 
     grid_start = time.perf_counter()
@@ -257,9 +336,9 @@ def main() -> int:
 
     points = run_grid(runner, args.repeat, args.grid_workers)
     for point in points:
-        print(f"{point['engine']:>10} x {point['layout']} x {point['query']}: "
-              f"{point['wall_seconds']:.3f}s wall, "
-              f"{point['cycles']:,} simulated cycles")
+        print(f"{_cell_name(point):>26}: {point['wall_seconds']:.3f}s wall, "
+              f"{point['cycles']:,} simulated cycles, "
+              f"{point['branch_mispredictions']:,} mispredictions")
     grid_wall = time.perf_counter() - grid_start
 
     totals = merged_grid_counters(points)
@@ -286,12 +365,19 @@ def main() -> int:
         "grid_total_cycles": totals.get("CPU_CLK_UNHALTED"),
         "headline": {"engine": HEADLINE[0], "layout": HEADLINE[1],
                      "query": HEADLINE[2]},
+        "adaptivity": adaptivity_summary(configs),
         "configs": configs,
     }
     print(f"\ngrid wall: {grid_wall:.3f}s end-to-end "
           f"({build_seconds:.3f}s for {len(LAYOUTS)} database builds, "
           f"repeat={args.repeat}, grid_workers={args.grid_workers}, "
           f"parallelism={args.parallelism})")
+    for layout, summary in report["adaptivity"].items():
+        print(f"adaptivity {layout}: greedy vs static = "
+              f"{summary['misprediction_reduction']:.1%} fewer mispredictions "
+              f"({summary['static_mispredictions']:,} -> "
+              f"{summary['greedy_mispredictions']:,}), "
+              f"{summary['cycle_reduction']:.1%} fewer cycles")
 
     exit_code = 0
     if args.compare_to:
@@ -331,7 +417,9 @@ def main() -> int:
 
     stamp = time.strftime("%Y%m%d-%H%M%S")
     out_dir = args.out_dir or os.path.join(
-        os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "benchmarks", "results")
+    os.makedirs(out_dir, exist_ok=True)
     path = os.path.join(out_dir, f"BENCH_{stamp}.json")
     with open(path, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=False)

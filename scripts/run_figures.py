@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Regenerate the paper's breakdown figures, optionally per page layout.
+
+The paper's systems all stored records NSM-style, so the reproduced
+Figures 5.1/5.2 default to NSM.  ``--layouts nsm pax`` re-measures the
+breakdown grid under each page layout through the warmed-build grid
+machinery (one shared database build per layout, address space rolled back
+to the post-build checkpoint before every session), which is what makes a
+full PAX breakdown affordable -- the "PAX everywhere" slice of ROADMAP.md.
+
+``--figures adaptivity`` additionally prints the adaptive
+conjunct-reordering experiment (static vs greedy vs epsilon orderings of
+the skewed 3-conjunct selection, measured on the simulated branch unit).
+
+Usage::
+
+    PYTHONPATH=src python scripts/run_figures.py
+    PYTHONPATH=src python scripts/run_figures.py --layouts nsm pax
+    PYTHONPATH=src python scripts/run_figures.py --figures 5.2 adaptivity \
+        --layouts pax --scale 0.25
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
+
+from repro.experiments import ExperimentConfig, ExperimentRunner
+from repro.experiments.figures import figure_5_1, figure_5_2, figure_adaptivity
+from repro.workloads.micro import MicroWorkloadConfig
+
+FIGURES = ("5.1", "5.2", "adaptivity")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--figures", nargs="+", default=["5.1", "5.2"],
+                        choices=FIGURES,
+                        help="which figures to regenerate (default: 5.1 5.2)")
+    parser.add_argument("--layouts", nargs="+", default=None,
+                        choices=("nsm", "pax"),
+                        help="page layouts to measure under (default: the "
+                             "paper's original NSM discipline)")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="microbenchmark scale factor override")
+    args = parser.parse_args()
+
+    config = (ExperimentConfig() if args.scale is None else
+              ExperimentConfig(micro=MicroWorkloadConfig(scale=args.scale)))
+    runner = ExperimentRunner(config)
+
+    start = time.perf_counter()
+    for name in args.figures:
+        if name == "5.1":
+            result = figure_5_1(runner, layouts=args.layouts)
+        elif name == "5.2":
+            result = figure_5_2(runner, layouts=args.layouts)
+        else:
+            result = figure_adaptivity(
+                runner, layouts=tuple(args.layouts or ("nsm", "pax")))
+        print(result.text)
+        print()
+    print(f"({time.perf_counter() - start:.1f}s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

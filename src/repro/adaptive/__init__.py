@@ -1,0 +1,34 @@
+"""Micro-adaptive execution: runtime statistics + per-morsel conjunct reordering.
+
+The subsystem has three layers (see the module docstrings for the design
+rationale):
+
+* :mod:`.stats` -- :class:`RuntimeStatsCollector`, cheap picklable counters
+  of per-conjunct selectivities and simulated branch outcomes that merge
+  commutatively (they ride the morsel charge tapes back to the parent);
+* :mod:`.policy` -- the :class:`AdaptivePolicy` interface with
+  :class:`StaticPolicy` (planner order, the control arm),
+  :class:`GreedyRankPolicy` (ascending ``(selectivity-1)/cost`` rank) and
+  :class:`EpsilonGreedyPolicy` (greedy with deterministic exploration);
+* :mod:`.manager` -- :class:`AdaptiveExecution`, which decomposes ``And``
+  trees, evaluates conjuncts in policy order with short-circuit selection
+  vectors, recombines a mask identical to the static engine's, and charges
+  per-row data-dependent branches so orderings are measurable on the
+  simulated branch unit.
+
+``ExecutionConfig.adaptivity`` / ``Session(adaptivity=...)`` select the mode:
+``"off"`` (bit-identical to previous releases), ``"static"``, ``"greedy"``
+or ``"epsilon"``.
+"""
+
+from .manager import AdaptiveExecution, flatten_conjuncts
+from .policy import (AdaptivePolicy, EpsilonGreedyPolicy, GreedyRankPolicy,
+                     POLICIES, StaticPolicy, make_policy)
+from .stats import ConjunctStats, RuntimeStatsCollector, conjunct_key
+
+__all__ = [
+    "AdaptiveExecution", "flatten_conjuncts",
+    "AdaptivePolicy", "StaticPolicy", "GreedyRankPolicy", "EpsilonGreedyPolicy",
+    "POLICIES", "make_policy",
+    "ConjunctStats", "RuntimeStatsCollector", "conjunct_key",
+]

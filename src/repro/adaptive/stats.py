@@ -1,0 +1,159 @@
+"""Runtime statistics for micro-adaptive execution.
+
+The paper's result -- branch mispredictions and instruction stalls, not
+computation, dominate query time -- makes multi-conjunct filters the
+cheapest place to recover cycles at run time: evaluating a poorly-selective
+conjunct first pays a ~50/50 data branch per record *and* forwards most
+records to the remaining conjuncts.  The optimiser cannot fix this without
+estimates it does not have; the engine can, because per-batch selectivity is
+directly observable.
+
+:class:`RuntimeStatsCollector` is the observation half of that loop.  It
+keeps one :class:`ConjunctStats` per conjunct (keyed by the conjunct's
+stable textual identity) recording
+
+* data-side observations -- rows in, rows passed, batches seen -- which are
+  pure functions of the stored data and therefore also observable inside
+  morsel workers (they ride the charge tapes back to the parent), and
+* hardware-side observations -- simulated branch outcomes and
+  mispredictions -- which only the real
+  :class:`~repro.execution.context.ExecutionContext` can produce, because
+  only it drives a branch predictor.
+
+Everything is plain integer counters: collectors pickle compactly across
+the morsel process boundary and :meth:`merge` is commutative (sums only),
+exactly like the PR 3 worker-telemetry types (``EventCounters``,
+``CacheStats``, ``TLBStats``, ``BranchStats``), so tape replay order cannot
+change what a policy eventually sees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+def conjunct_key(expression) -> str:
+    """Stable identity of a conjunct across operators, batches and workers.
+
+    Expressions are frozen dataclasses, so ``repr`` is a deterministic,
+    picklable rendering of the conjunct's structure -- the same predicate
+    text maps to the same statistics no matter which scan (or which morsel
+    worker) evaluated it.
+    """
+    return repr(expression)
+
+
+@dataclass
+class ConjunctStats:
+    """Counters for one conjunct (all commutative sums)."""
+
+    rows_in: int = 0
+    rows_passed: int = 0
+    batches: int = 0
+    branches: int = 0
+    branches_taken: int = 0
+    mispredictions: int = 0
+
+    @property
+    def selectivity(self) -> Optional[float]:
+        """Observed pass fraction, or ``None`` before any observation."""
+        if self.rows_in <= 0:
+            return None
+        return self.rows_passed / self.rows_in
+
+    @property
+    def misprediction_rate(self) -> float:
+        return self.mispredictions / self.branches if self.branches else 0.0
+
+    def merge(self, other: "ConjunctStats") -> "ConjunctStats":
+        self.rows_in += other.rows_in
+        self.rows_passed += other.rows_passed
+        self.batches += other.batches
+        self.branches += other.branches
+        self.branches_taken += other.branches_taken
+        self.mispredictions += other.mispredictions
+        return self
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "rows_in": self.rows_in,
+            "rows_passed": self.rows_passed,
+            "batches": self.batches,
+            "branches": self.branches,
+            "branches_taken": self.branches_taken,
+            "mispredictions": self.mispredictions,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, int]) -> "ConjunctStats":
+        return cls(**{field: int(data.get(field, 0)) for field in
+                      ("rows_in", "rows_passed", "batches", "branches",
+                       "branches_taken", "mispredictions")})
+
+
+class RuntimeStatsCollector:
+    """Per-conjunct runtime observations, mergeable in any order."""
+
+    __slots__ = ("conjuncts",)
+
+    def __init__(self) -> None:
+        self.conjuncts: Dict[str, ConjunctStats] = {}
+
+    def stats_for(self, key: str) -> ConjunctStats:
+        stats = self.conjuncts.get(key)
+        if stats is None:
+            stats = ConjunctStats()
+            self.conjuncts[key] = stats
+        return stats
+
+    # -------------------------------------------------------- observations
+    def observe_batch(self, key: str, rows_in: int, rows_passed: int) -> None:
+        """Record one conjunct evaluation over ``rows_in`` surviving rows."""
+        stats = self.stats_for(key)
+        stats.rows_in += rows_in
+        stats.rows_passed += rows_passed
+        stats.batches += 1
+
+    def observe_branches(self, key: str, branches: int, taken: int,
+                         mispredictions: int) -> None:
+        """Record the simulated branch outcomes of one conjunct evaluation."""
+        stats = self.stats_for(key)
+        stats.branches += branches
+        stats.branches_taken += taken
+        stats.mispredictions += mispredictions
+
+    # ------------------------------------------------------------- queries
+    def selectivity(self, key: str, default: float = 0.5) -> float:
+        """Observed selectivity of a conjunct (``default`` until observed)."""
+        stats = self.conjuncts.get(key)
+        if stats is None:
+            return default
+        value = stats.selectivity
+        return default if value is None else value
+
+    def observed(self, key: str) -> bool:
+        stats = self.conjuncts.get(key)
+        return stats is not None and stats.rows_in > 0
+
+    def total_rows_in(self) -> int:
+        return sum(stats.rows_in for stats in self.conjuncts.values())
+
+    # ------------------------------------------------------ merge/snapshot
+    def merge(self, other: "RuntimeStatsCollector") -> "RuntimeStatsCollector":
+        """Commutatively fold ``other`` into this collector (sums only)."""
+        for key, stats in other.conjuncts.items():
+            self.stats_for(key).merge(stats)
+        return self
+
+    def snapshot(self) -> Dict[str, Dict[str, int]]:
+        """Plain-dict rendering (picklable; rides morsel specs and tapes)."""
+        return {key: stats.as_dict() for key, stats in self.conjuncts.items()}
+
+    @classmethod
+    def from_snapshot(cls, snapshot: Optional[Dict[str, Dict[str, int]]]
+                      ) -> "RuntimeStatsCollector":
+        collector = cls()
+        for key, data in (snapshot or {}).items():
+            collector.conjuncts[key] = ConjunctStats.from_dict(data)
+        return collector

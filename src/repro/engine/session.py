@@ -28,10 +28,11 @@ from ..hardware.os_interference import OSInterferenceConfig
 from ..hardware.pipeline import OverlapModel
 from ..hardware.processor import SimulatedProcessor
 from ..hardware.specs import PENTIUM_II_XEON, ProcessorSpec
+from ..adaptive import AdaptiveExecution
 from ..query.planner import Planner
-from ..query.plans import (CHARGE_SPAN, DEFAULT_BATCH_SIZE, ENGINE_TUPLE,
-                           ExecutionConfig, LogicalQuery, PhysicalPlan,
-                           UpdatePlan, UpdateQuery, describe_plan)
+from ..query.plans import (ADAPTIVITY_OFF, CHARGE_SPAN, DEFAULT_BATCH_SIZE,
+                           ENGINE_TUPLE, ExecutionConfig, LogicalQuery,
+                           PhysicalPlan, UpdatePlan, UpdateQuery, describe_plan)
 from ..systems.profile import SystemProfile
 from .database import Database
 
@@ -80,13 +81,22 @@ class Session:
                  charge_mode: str = CHARGE_SPAN,
                  parallelism: int = 1,
                  parallel_backend: str = "process",
-                 morsel_pages: Optional[int] = None) -> None:
+                 morsel_pages: Optional[int] = None,
+                 adaptivity: str = ADAPTIVITY_OFF) -> None:
         """``parallelism=N`` (N > 1) enables the morsel-parallel exchange
         for vectorized sequential scans: page morsels are produced by N
         workers (``parallel_backend="process"`` forks a pool inheriting the
         database; ``"inline"`` runs the same machinery in-process) and their
         charge tapes are replayed in canonical order, so result rows and
         every simulated hardware count are identical to ``parallelism=1``.
+
+        ``adaptivity`` selects the micro-adaptive conjunct-reordering mode
+        for vectorized multi-conjunct filters (:mod:`repro.adaptive`):
+        ``"off"`` (default, bit-identical to previous releases),
+        ``"static"`` (adaptive charging, planner order -- the experiment's
+        control arm), ``"greedy"`` (observed selectivity-per-cost rank) or
+        ``"epsilon"`` (greedy with deterministic exploration).  Result rows
+        are identical in every mode.
         """
         self.database = database
         self.profile = profile
@@ -98,12 +108,17 @@ class Session:
                                                          batch_size=batch_size,
                                                          charge_mode=charge_mode,
                                                          workers=max(parallelism, 1),
-                                                         morsel_pages=morsel_pages))
+                                                         morsel_pages=morsel_pages,
+                                                         adaptivity=adaptivity))
         self.code_layout = CodeLayout(profile, database.address_space)
         self.context = ExecutionContext(self.processor, profile,
                                         database.address_space,
                                         code_layout=self.code_layout,
                                         charge_mode=charge_mode)
+        self.adaptive: Optional[AdaptiveExecution] = None
+        if adaptivity != ADAPTIVITY_OFF:
+            self.adaptive = AdaptiveExecution(adaptivity)
+            self.context.adaptive = self.adaptive
         self.parallel: Optional[ParallelExecution] = None
         if parallelism > 1:
             self.parallel = ParallelExecution(database, parallelism,

@@ -124,6 +124,19 @@ class ExecutionContext:
         #: replay their charge tapes here, in canonical order.
         self.parallel = None
 
+        #: Optional micro-adaptive execution manager
+        #: (:class:`~repro.adaptive.AdaptiveExecution`), attached by the
+        #: session when ``adaptivity != "off"``.  When set, vectorized
+        #: filters decompose multi-conjunct ``And`` predicates and evaluate
+        #: them in policy order with short-circuit selection vectors;
+        #: ``None`` (the default) leaves every code path bit-identical to
+        #: previous releases.
+        self.adaptive = None
+        # Lazily allocated instruction block holding the synthetic branch
+        # sites of adaptive conjunct evaluations (never allocated on the
+        # ``off`` path, so legacy address layouts are untouched).
+        self._conjunct_sites_base: Optional[int] = None
+
         # Routine-invocation counts: one entry per interpreted call.  A
         # batched call (:meth:`visit_batch`) counts once however many
         # records it covers -- the whole point of vectorization is that the
@@ -206,6 +219,66 @@ class ExecutionContext:
             segment.dependency_stall_cycles * fraction * iterations,
             segment.fu_stall_cycles * fraction * iterations,
             segment.ild_stall_cycles * fraction * iterations)
+
+    def visit_conjunct_batch(self, operation: str, outcomes: Sequence,
+                             site: int = 0, key: Optional[str] = None) -> None:
+        """Charge one adaptive conjunct evaluation over ``len(outcomes)`` rows.
+
+        The instruction/retirement side is exactly one batched routine visit
+        (:meth:`visit_batch`); the branch side executes one *data-dependent*
+        conditional per row whose outcome is that row's pass/fail -- the
+        selection branch the tuple engine models per record and the
+        vectorized engine amortised away.  ``site`` identifies the conjunct
+        (not its current evaluation position), so the predictor's per-site
+        state follows a conjunct across policy reorderings: a well-skewed
+        conjunct trains its 2-bit counters and mispredicts rarely, a
+        50%-selective one stays a coin flip.  This is what makes conjunct
+        ordering measurable on the simulated branch unit.
+
+        ``key`` (the conjunct's stable identity) routes the simulated branch
+        outcomes into the adaptive statistics collector when one is attached.
+        """
+        count = len(outcomes)
+        if count <= 0:
+            return
+        self.visit_batch(operation, count)
+        # One synthetic site per conjunct in a dedicated instruction block,
+        # 16 bytes apart: the predictor drops the low 4 address bits, so
+        # sites in this block can never share a predictor entry with each
+        # other or with any code segment's real branch sites (the block is
+        # its own allocation).  256 sites before the block wraps -- far
+        # beyond any real conjunct count.
+        base = self._conjunct_sites_base
+        if base is None:
+            base = self._conjunct_sites_base = self.address_space.allocate(
+                "code", 4096, alignment=64)
+        address = base + ((site & 0xFF) << 4)
+        branch_unit = self.processor.branch_unit
+        btb_before = branch_unit.stats.btb_misses
+        taken = mispredictions = 0
+        execute = branch_unit.execute
+        for outcome in outcomes:
+            outcome = bool(outcome)
+            if execute(address, outcome):
+                mispredictions += 1
+            if outcome:
+                taken += 1
+        self.processor.count_branches(
+            count, taken=taken, mispredictions=mispredictions,
+            btb_misses=branch_unit.stats.btb_misses - btb_before)
+        if key is not None and self.adaptive is not None:
+            self.adaptive.collector.observe_branches(key, count, taken,
+                                                     mispredictions)
+
+    def observe_conjuncts(self, key: str, rows_in: int, rows_passed: int) -> None:
+        """Feed one conjunct's data-side observation to the stats collector.
+
+        Issued by the adaptive evaluator after each conjunct; morsel workers
+        record the same call on their charge tapes, so replay merges worker
+        observations into this (the parent's) collector in canonical order.
+        """
+        if self.adaptive is not None:
+            self.adaptive.collector.observe_batch(key, rows_in, rows_passed)
 
     def total_invocations(self) -> int:
         """Total interpreted routine invocations charged so far."""

@@ -71,6 +71,10 @@ _OP_WRITE = "dw"
 _OP_READ_STRIDED = "drs"
 _OP_RECORD_DONE = "rd"
 _OP_ROWS = "rp"
+#: Adaptive-filter ops: one conjunct evaluation (row outcomes packed as a
+#: bytes object, one 0/1 byte per row) and one data-side stat observation.
+_OP_VISIT_CONJUNCT = "vcb"
+_OP_OBSERVE_CONJUNCTS = "oc"
 
 
 def fork_available() -> bool:
@@ -134,6 +138,11 @@ class TapeRecorder:
         self.processor = _TapeProcessor(self.ops)
         self.rows_produced = 0
         self.op_invocations: Dict[str, int] = {}
+        #: Worker-local :class:`~repro.adaptive.AdaptiveExecution` (built
+        #: from the morsel spec's snapshot).  Its collector adapts *within*
+        #: the morsel; the recorded observation ops carry the same stats
+        #: back to the parent's manager at replay time.
+        self.adaptive = None
 
     # -- charge recording ---------------------------------------------------
     def visit(self, operation: str, data_taken: Optional[bool] = None,
@@ -146,6 +155,19 @@ class TapeRecorder:
             return
         self.op_invocations[operation] = self.op_invocations.get(operation, 0) + 1
         self.ops.append((_OP_VISIT_BATCH, operation, count))
+
+    def visit_conjunct_batch(self, operation: str, outcomes, site: int = 0,
+                             key: Optional[str] = None) -> None:
+        if not len(outcomes):
+            return
+        self.op_invocations[operation] = self.op_invocations.get(operation, 0) + 1
+        packed = bytes(bytearray(1 if outcome else 0 for outcome in outcomes))
+        self.ops.append((_OP_VISIT_CONJUNCT, operation, packed, site, key))
+
+    def observe_conjuncts(self, key: str, rows_in: int, rows_passed: int) -> None:
+        if self.adaptive is not None:
+            self.adaptive.collector.observe_batch(key, rows_in, rows_passed)
+        self.ops.append((_OP_OBSERVE_CONJUNCTS, key, rows_in, rows_passed))
 
     def read_address(self, address: int, size: int = 4) -> None:
         self.ops.append((_OP_READ, address, size))
@@ -203,6 +225,12 @@ def replay_tape(ops: Sequence[ChargeOp], ctx) -> None:
             data_read(op[1], op[2])
         elif tag == _OP_VISIT_BATCH:
             visit_batch(op[1], op[2])
+        elif tag == _OP_VISIT_CONJUNCT:
+            # The packed bytes iterate as 0/1 ints -- exactly the outcome
+            # sequence the worker's conjunct evaluation produced.
+            ctx.visit_conjunct_batch(op[1], op[2], op[3], op[4])
+        elif tag == _OP_OBSERVE_CONJUNCTS:
+            ctx.observe_conjuncts(op[1], op[2], op[3])
         elif tag == _OP_VISIT:
             visit(op[1], op[2], op[3])
         elif tag == _OP_RECORD_DONE:
@@ -232,6 +260,12 @@ class MorselSpec:
     count_records: bool
     charge_mode: str
     profile: SystemProfile
+    #: Adaptivity mode and manager snapshot (policy state + stats observed
+    #: so far) this morsel starts from; ``"off"``/``None`` for the static
+    #: engine.  The worker adapts privately from here; its observations ride
+    #: the charge tape back into the parent's manager.
+    adaptivity: str = "off"
+    adaptive_state: Optional[dict] = None
 
 
 @dataclass
@@ -271,6 +305,9 @@ def _run_scan_morsel_on(database, spec: MorselSpec) -> MorselResult:
     from .vectorized import VecSeqScanOperator
     table = database.catalog.table(spec.table)
     recorder = TapeRecorder(spec.profile, spec.charge_mode)
+    if spec.adaptivity != "off":
+        from ..adaptive import AdaptiveExecution
+        recorder.adaptive = AdaptiveExecution.from_snapshot(spec.adaptive_state)
     operator = VecSeqScanOperator(
         table, recorder, predicate=spec.predicate,
         output_columns=spec.output_columns,
@@ -414,27 +451,62 @@ class VecExchangeOperator:
         self.count_records = count_records
 
     # VectorOperator protocol ------------------------------------------------
+    def _spec_for(self, span: Tuple[int, int], adaptivity: str,
+                  adaptive_state: Optional[dict]) -> MorselSpec:
+        return MorselSpec(table=self.table.name, page_start=span[0],
+                          page_stop=span[1], predicate=self.predicate,
+                          output_columns=self.output_columns,
+                          next_operation=self.next_operation,
+                          batch_size=self.batch_size,
+                          count_records=self.count_records,
+                          charge_mode=self.ctx.charge_mode,
+                          profile=self.ctx.profile,
+                          adaptivity=adaptivity,
+                          adaptive_state=adaptive_state)
+
     def batches(self):
         from .vectorized import ColumnBatch
         parallel = self.parallel
+        ctx = self.ctx
         page_count = self.table.heap.page_count
         morsel_pages = parallel.default_morsel_pages(page_count)
-        specs = [MorselSpec(table=self.table.name, page_start=start,
-                            page_stop=stop, predicate=self.predicate,
-                            output_columns=self.output_columns,
-                            next_operation=self.next_operation,
-                            batch_size=self.batch_size,
-                            count_records=self.count_records,
-                            charge_mode=self.ctx.charge_mode,
-                            profile=self.ctx.profile)
-                 for start, stop in partition_pages(page_count, morsel_pages)]
-        ctx = self.ctx
-        for result in parallel.run_morsels(specs):
-            for columns, length, ops in result.batches:
-                replay_tape(ops, ctx)
-                yield ColumnBatch(columns, length)
-            if result.trailing_ops:
-                replay_tape(result.trailing_ops, ctx)
+        spans = partition_pages(page_count, morsel_pages)
+        adaptive = getattr(ctx, "adaptive", None)
+        if adaptive is not None and not adaptive.applies(self.predicate):
+            adaptive = None
+        if adaptive is None:
+            waves = [[self._spec_for(span, "off", None) for span in spans]]
+        else:
+            # Adaptive filters re-plan *between morsel waves*: each wave of
+            # ``workers`` morsels is dispatched with the manager state merged
+            # from every earlier wave's tapes (the replay below folds worker
+            # observations into the parent's collector before the next wave's
+            # specs are built).  Within a wave, workers adapt privately from
+            # the dispatched snapshot, so a fixed partitioning is
+            # deterministic regardless of pool racing.
+            wave_size = max(parallel.workers, 1)
+            waves = [spans[start:start + wave_size]
+                     for start in range(0, len(spans), wave_size)]
+        for wave in waves:
+            if adaptive is None:
+                specs = wave
+            else:
+                snapshot = adaptive.snapshot()
+                specs = [self._spec_for(span, adaptive.mode, snapshot)
+                         for span in wave]
+            wave_batches = 0
+            for result in parallel.run_morsels(specs):
+                wave_batches += len(result.batches)
+                for columns, length, ops in result.batches:
+                    replay_tape(ops, ctx)
+                    yield ColumnBatch(columns, length)
+                if result.trailing_ops:
+                    replay_tape(result.trailing_ops, ctx)
+            if adaptive is not None:
+                # Each scan batch was one ordering decision in a worker;
+                # advance the parent policy so the next wave's snapshot
+                # continues (not restarts) any internal decision sequence.
+                adaptive.policy.advance(wave_batches)
 
     def rows(self):
         for batch in self.batches():

@@ -226,6 +226,13 @@ class VecSeqScanOperator(VectorOperator):
         layout = table.layout
         predicate = self.predicate
         names = self.predicate_columns
+        # Micro-adaptive conjunct reordering engages only when a manager is
+        # attached (``adaptivity != "off"``) *and* the predicate is a
+        # multi-conjunct conjunction; otherwise the static path below is
+        # untouched (bit-identical to previous releases).
+        adaptive = getattr(ctx, "adaptive", None)
+        if adaptive is not None and not adaptive.applies(predicate):
+            adaptive = None
         if self.page_range is not None:
             pages = table.heap.scan_pages(*self.page_range)
         else:
@@ -237,10 +244,15 @@ class VecSeqScanOperator(VectorOperator):
                 ctx.visit_batch(self.next_operation, count)
                 columns = ctx.read_column_group_batch(page, layout, chunk, names)
                 if predicate is not None:
-                    mask = predicate.evaluate_batch(columns, count)
+                    if adaptive is not None:
+                        mask = adaptive.evaluate_batch(ctx, predicate,
+                                                       columns, count)
+                    else:
+                        mask = predicate.evaluate_batch(columns, count)
                     selected = [position for position in range(count)
                                 if mask[position]]
-                    ctx.visit_batch("predicate", count)
+                    if adaptive is None:
+                        ctx.visit_batch("predicate", count)
                     out_columns = {name: [vector[i] for i in selected]
                                    for name, vector in columns.items()}
                 else:
@@ -277,14 +289,21 @@ class VecFilterOperator(VectorOperator):
     def batches(self) -> Iterator[ColumnBatch]:
         ctx = self.ctx
         predicate = self.predicate
+        adaptive = getattr(ctx, "adaptive", None)
+        if adaptive is not None and not adaptive.applies(predicate):
+            adaptive = None
         for batch in self.child.batches():
             if not len(batch):
                 yield batch
                 continue
-            mask = predicate.evaluate_batch(batch.columns, len(batch))
+            if adaptive is not None:
+                mask = adaptive.evaluate_batch(ctx, predicate, batch.columns,
+                                               len(batch))
+            else:
+                mask = predicate.evaluate_batch(batch.columns, len(batch))
+                ctx.visit_batch("predicate", len(batch))
             selected = [position for position in range(len(batch))
                         if mask[position]]
-            ctx.visit_batch("predicate", len(batch))
             kept = batch.gather(selected)
             ctx.row_produced(len(kept))
             yield kept

@@ -116,7 +116,8 @@ class ExperimentRunner:
         self._micro_workload: Optional[MicroWorkload] = None
         self._tpcd_db: Optional[Database] = None
         self._tpcd_workload: Optional[TPCDWorkload] = None
-        self._micro_results: Dict[Tuple[str, str, float, int, str], Optional[QueryResult]] = {}
+        self._micro_results: Dict[Tuple[str, str, float, int, str, Optional[str]],
+                                  Optional[QueryResult]] = {}
         self._record_size_results: Dict[Tuple[str, int], QueryResult] = {}
         self._record_size_dbs: Dict[int, Tuple[Database, MicroWorkload]] = {}
         self._tpcd_results: Dict[str, QueryResult] = {}
@@ -128,6 +129,7 @@ class ExperimentRunner:
         # measured against a fresh build.
         self._grid_dbs: Dict[str, Tuple[Database, Dict[str, int]]] = {}
         self._grid_results: Dict[Tuple[str, str, str, str], QueryResult] = {}
+        self._adaptive_results: Dict[Tuple[str, str, str], QueryResult] = {}
 
     # ----------------------------------------------------------- workloads
     @property
@@ -169,7 +171,8 @@ class ExperimentRunner:
     def micro_result(self, system_key: str, kind: str,
                      selectivity: Optional[float] = None,
                      record_size: Optional[int] = None,
-                     engine: str = "tuple") -> Optional[QueryResult]:
+                     engine: str = "tuple",
+                     layout: Optional[str] = None) -> Optional[QueryResult]:
         """Measure one (system, query kind) point of the microbenchmark.
 
         Returns ``None`` for System A's indexed range selection: A's
@@ -177,12 +180,21 @@ class ExperimentRunner:
         there is no IRS measurement for it.  ``engine`` selects the
         tuple-at-a-time executor (what the paper's systems do) or the
         vectorized batch executor for the engine-ablation experiment.
+
+        ``layout`` pins the page layout (``"nsm"``/``"pax"``) and routes the
+        measurement through the warmed-build grid machinery: one shared
+        build per layout, address space rolled back to the post-build
+        checkpoint before each session, so every point measures against
+        fresh-build-identical state.  ``None`` (the default) preserves the
+        historical discipline -- the shared NSM database with sequential
+        session allocations -- so existing figures reproduce bit-identically.
         """
         if kind not in QUERY_KINDS:
             raise ValueError(f"unknown query kind {kind!r}; expected one of {QUERY_KINDS}")
         selectivity = self.config.selectivity if selectivity is None else selectivity
         record_size = self.config.micro.record_size if record_size is None else record_size
-        key = (system_key.upper(), kind, round(selectivity, 4), record_size, engine)
+        key = (system_key.upper(), kind, round(selectivity, 4), record_size,
+               engine, layout)
         if key in self._micro_results:
             return self._micro_results[key]
 
@@ -191,12 +203,22 @@ class ExperimentRunner:
             self._micro_results[key] = None
             return None
 
-        if record_size == self.config.micro.record_size:
+        if layout is not None:
+            if record_size != self.config.micro.record_size:
+                raise ValueError("layout-pinned measurements support only the "
+                                 "default record size")
+            workload = self.micro_workload
+            database, checkpoint = self.grid_database(layout)
+            database.address_space.restore(checkpoint)
+            session = Session(database, profile, spec=self.config.spec,
+                              os_interference=self.config.os_config(),
+                              engine=engine)
+        elif record_size == self.config.micro.record_size:
             database, workload = self.micro_database, self.micro_workload
+            session = self._session(profile, database, engine=engine)
         else:
             database, workload = self._record_size_database(record_size)
-
-        session = self._session(profile, database, engine=engine)
+            session = self._session(profile, database, engine=engine)
         warmup_query = None
         warmup_runs = self.config.warmup_runs
         if kind == "SRS":
@@ -304,19 +326,28 @@ class ExperimentRunner:
         return cached
 
     def grid_session(self, engine: str, layout: str,
-                     system_key: str = "B") -> Session:
+                     system_key: str = "B",
+                     adaptivity: str = "off",
+                     parallelism: Optional[int] = None) -> Session:
         """A measurement session against the cached grid build.
 
         The address space is rolled back to the post-build checkpoint
         first, so the session's transient allocations (code layout,
         workspace) land at the same addresses as against a fresh build --
         simulated counts cannot depend on how many cells ran before.
+        ``adaptivity`` threads the micro-adaptive conjunct-reordering mode
+        through to the session (used by the adaptivity experiment cells);
+        ``parallelism`` overrides the config knob per session (the bench
+        pins adaptive cells to serial, where their cycles are deterministic).
         """
         database, checkpoint = self.grid_database(layout)
         database.address_space.restore(checkpoint)
+        if parallelism is None:
+            parallelism = self.config.parallelism
         return Session(database, system_by_key(system_key), spec=self.config.spec,
                        os_interference=self.config.os_config(), engine=engine,
-                       parallelism=self.config.parallelism)
+                       parallelism=parallelism,
+                       adaptivity=adaptivity)
 
     def grid_cell(self, engine: str, layout: str, kind: str,
                   system_key: str = "B") -> QueryResult:
@@ -338,6 +369,38 @@ class ExperimentRunner:
             result = session.execute(query, warmup_runs=0)
         self._grid_results[key] = result
         return result
+
+    # ------------------------------------------------- adaptivity experiment
+    def adaptive_cell(self, layout: str, adaptivity: str,
+                      system_key: str = "B") -> QueryResult:
+        """Measure the skewed-conjunct selection under one adaptivity mode.
+
+        Runs the vectorized engine on the shared warmed grid build
+        (checkpoint-restored, cold caches, ``warmup_runs=0``) so the only
+        difference between two cells of the same layout is the conjunct
+        evaluation policy: ``off`` is the bit-identical legacy path,
+        ``static`` is adaptive charging in planner order (the control arm),
+        ``greedy``/``epsilon`` reorder from observed selectivities.
+        """
+        key = (layout, adaptivity, system_key.upper())
+        cached = self._adaptive_results.get(key)
+        if cached is not None:
+            return cached
+        query = self.micro_workload.skewed_conjunct_selection()
+        with self.grid_session("vectorized", layout, system_key,
+                               adaptivity=adaptivity) as session:
+            result = session.execute(query, warmup_runs=0)
+        self._adaptive_results[key] = result
+        return result
+
+    def adaptive_grid(self, layouts: Sequence[str] = ("nsm", "pax"),
+                      modes: Sequence[str] = ("off", "static", "greedy",
+                                              "epsilon"),
+                      system_key: str = "B"
+                      ) -> Dict[Tuple[str, str], QueryResult]:
+        """Measure the full layout x adaptivity-mode grid of the experiment."""
+        return {(layout, mode): self.adaptive_cell(layout, mode, system_key)
+                for layout in layouts for mode in modes}
 
     def micro_grid(self,
                    engines: Sequence[str] = ("tuple", "vectorized"),

@@ -12,6 +12,16 @@ evaluator also reports which columns a predicate touches so the executor knows
 which record fields (and therefore which cache lines) each evaluation reads,
 and how many data-dependent branch outcomes it produces -- this is how the
 selection predicate's behaviour reaches the branch predictor model.
+
+Null semantics: a comparison (or ``BETWEEN``) involving ``None`` evaluates to
+``False`` rather than raising ("NULL is not less than anything", as in SQL).
+Logic stays *two-valued*, though: ``Not`` inverts that ``False``, so
+``NOT (NULL < 3)`` is ``True`` here where SQL's three-valued logic would
+filter the row.  The deliberate point is totality, not SQL fidelity --
+predicates are pure total functions of their row, which makes conjunction
+commutative: the property the adaptive conjunct-reordering subsystem
+(:mod:`repro.adaptive`) relies on to shuffle evaluation order without
+changing a single result row.
 """
 
 from __future__ import annotations
@@ -112,6 +122,9 @@ class ComparisonOp(Enum):
     GT = ">"
 
     def apply(self, left, right) -> bool:
+        if left is None or right is None:
+            # SQL-style: comparisons against NULL are never satisfied.
+            return False
         if self is ComparisonOp.LT:
             return left < right
         if self is ComparisonOp.LE:
@@ -172,6 +185,8 @@ class Between(Expression):
         value = self.expr.evaluate(row)
         low = self.low.evaluate(row)
         high = self.high.evaluate(row)
+        if value is None or low is None or high is None:
+            return False
         low_ok = value >= low if self.include_low else value > low
         if not low_ok:
             return False
@@ -184,13 +199,19 @@ class Between(Expression):
             vector = _column_vector(columns, self.expr.name)
             if vector is not None:
                 low, high = self.low.value, self.high.value
+                if low is None or high is None:
+                    return [False] * count
                 if self.include_low and self.include_high:
-                    return [low <= value <= high for value in vector]
+                    return [value is not None and low <= value <= high
+                            for value in vector]
                 if self.include_low:
-                    return [low <= value < high for value in vector]
+                    return [value is not None and low <= value < high
+                            for value in vector]
                 if self.include_high:
-                    return [low < value <= high for value in vector]
-                return [low < value < high for value in vector]
+                    return [value is not None and low < value <= high
+                            for value in vector]
+                return [value is not None and low < value < high
+                        for value in vector]
         return Expression.evaluate_batch(self, columns, count)
 
     def columns(self) -> FrozenSet[str]:
@@ -333,6 +354,11 @@ def column(name: str) -> ColumnRef:
 
 def const(value) -> Const:
     return Const(value)
+
+
+def conjunction(*operands: Expression) -> And:
+    """``operand AND operand AND ...`` (multi-conjunct qualifications)."""
+    return And(tuple(operands))
 
 
 def range_predicate(column_name: str, low, high,

@@ -47,6 +47,23 @@ CHARGE_PER_ADDRESS = "per_address"
 
 CHARGE_MODES = (CHARGE_SPAN, CHARGE_PER_ADDRESS)
 
+#: Runtime adaptivity of multi-conjunct filter evaluation (the
+#: :mod:`repro.adaptive` subsystem).  ``off`` bypasses the adaptive path
+#: entirely -- the engine is bit-identical to previous releases.  The other
+#: modes decompose ``And`` predicates into conjuncts and evaluate them with
+#: short-circuit selection vectors in policy order: ``static`` keeps the
+#: planner's order (the control arm for the adaptivity experiment),
+#: ``greedy`` ranks conjuncts by observed selectivity-per-cost, ``epsilon``
+#: is greedy with a deterministic exploration fraction.  Result rows are
+#: identical in every mode; only the charged work differs.
+ADAPTIVITY_OFF = "off"
+ADAPTIVITY_STATIC = "static"
+ADAPTIVITY_GREEDY = "greedy"
+ADAPTIVITY_EPSILON = "epsilon"
+
+ADAPTIVITY_MODES = (ADAPTIVITY_OFF, ADAPTIVITY_STATIC, ADAPTIVITY_GREEDY,
+                    ADAPTIVITY_EPSILON)
+
 
 @dataclass(frozen=True)
 class ExecutionConfig:
@@ -77,6 +94,8 @@ class ExecutionConfig:
     #: Pages per morsel for the exchange operator (``None`` = derived from
     #: the table size and worker count).
     morsel_pages: Optional[int] = None
+    #: Runtime conjunct-reordering mode (see :data:`ADAPTIVITY_MODES`).
+    adaptivity: str = ADAPTIVITY_OFF
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:
@@ -90,10 +109,23 @@ class ExecutionConfig:
             raise ValueError("workers must be at least 1")
         if self.morsel_pages is not None and self.morsel_pages < 1:
             raise ValueError("morsel_pages must be at least 1 when set")
+        if self.adaptivity not in ADAPTIVITY_MODES:
+            raise ValueError(f"unknown adaptivity mode {self.adaptivity!r}; "
+                             f"expected one of {ADAPTIVITY_MODES}")
+        if self.adaptivity != ADAPTIVITY_OFF and self.engine != ENGINE_VECTORIZED:
+            raise ValueError(
+                f"adaptivity={self.adaptivity!r} requires engine="
+                f"{ENGINE_VECTORIZED!r}: only the vectorized filters evaluate "
+                f"conjuncts batch-at-a-time (the tuple engine would silently "
+                f"ignore the setting)")
 
     @property
     def is_vectorized(self) -> bool:
         return self.engine == ENGINE_VECTORIZED
+
+    @property
+    def is_adaptive(self) -> bool:
+        return self.adaptivity != ADAPTIVITY_OFF
 
     @property
     def is_parallel(self) -> bool:

@@ -35,7 +35,8 @@ from typing import Iterator, Optional, Sequence, Tuple
 import numpy as np
 
 from ..engine.database import Database
-from ..query.expressions import avg, range_predicate
+from ..query.expressions import (ColumnRef, Comparison, ComparisonOp, Const,
+                                 avg, conjunction, range_predicate)
 from ..query.plans import JoinQuery, SelectionQuery
 from ..storage.schema import ColumnType
 
@@ -188,6 +189,56 @@ class MicroWorkload:
             prefer_index_on="a2",
             label=f"IRS {self._selectivity_label(selectivity)}",
         )
+
+    def skewed_conjunct_selection(self, narrow: float = 0.05,
+                                  wide: float = 0.90,
+                                  coin_threshold: int = 5_000) -> SelectionQuery:
+        """The adaptivity microworkload: a 3-conjunct filter in skewed order.
+
+        ``select avg(a3) from R where a1 <= W and a3 >= C and a2 < N`` with
+        the conjuncts deliberately written in the *worst* static order:
+
+        1. ``a1 <= W`` passes ~``wide`` (90%) of rows -- cheap, nearly
+           useless as a filter,
+        2. ``a3 >= C`` passes ~50% of rows -- a data branch the predictor
+           cannot learn (the paper's coin-flip misprediction case), and
+        3. ``a2 < N`` passes ~``narrow`` (5%) of rows -- the conjunct that
+           should run first.
+
+        A planner without column statistics executes source order, paying
+        the 50/50 branch on ~90% of the records and forwarding ~45% of them
+        to the selective conjunct.  The greedy runtime policy learns within
+        a batch to evaluate ``a2 < N`` first, which short-circuits ~95% of
+        the rows past both expensive conjuncts -- the branch-misprediction
+        and cycle delta the ``figure_adaptivity`` experiment measures.
+        """
+        wide_bound, narrow_bound = self._skewed_bounds(narrow, wide)
+        predicate = conjunction(
+            Comparison(ComparisonOp.LE, ColumnRef("a1"), Const(wide_bound)),
+            Comparison(ComparisonOp.GE, ColumnRef("a3"), Const(coin_threshold)),
+            Comparison(ComparisonOp.LT, ColumnRef("a2"), Const(narrow_bound)),
+        )
+        return SelectionQuery(
+            table=self.R_TABLE,
+            aggregates=(avg("a3"),),
+            predicate=predicate,
+            prefer_index_on=None,
+            label=f"ACS {narrow:.0%}/50%/{wide:.0%}",
+        )
+
+    def _skewed_bounds(self, narrow: float, wide: float) -> Tuple[int, int]:
+        """``(wide_bound, narrow_bound)`` shared by the query and its truth."""
+        config = self.config
+        return (max(int(round(wide * config.r_rows)), 1),
+                max(int(round(narrow * config.a2_domain)) + 1, 2))
+
+    def expected_skewed_rows(self, narrow: float = 0.05, wide: float = 0.90,
+                             coin_threshold: int = 5_000) -> int:
+        """Ground-truth count of rows the skewed-conjunct filter qualifies."""
+        wide_bound, narrow_bound = self._skewed_bounds(narrow, wide)
+        return sum(1 for a1, a2, a3 in self.generate_r_rows()
+                   if a1 <= wide_bound and a3 >= coin_threshold
+                   and a2 < narrow_bound)
 
     def sequential_join(self) -> JoinQuery:
         """Query (3): ``select avg(R.a3) from R, S where R.a2 = S.a1``."""
