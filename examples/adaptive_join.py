@@ -1,0 +1,78 @@
+"""Runtime join-side selection on a planner-wrong hash join.
+
+The microbenchmark's equijoin (``select avg(R.a3) from R, S where
+R.a2 = S.a1``) joins R against S, which is 30x smaller -- so a planner with
+healthy statistics builds the hash table on S and probes with R.
+:meth:`~repro.workloads.micro.MicroWorkload.skewed_join` pins the build
+side to R instead, modelling stale statistics: the static plan hashes all
+of R into a hash area many times the 16 KB L1 D-cache and probes it with a
+handful of S rows.
+
+With ``adaptive_joins=True`` the vectorized hash join consults the
+adaptivity policy between build batches.  The ``greedy`` policy watches the
+observed build cardinality stream past the probe-side expectation and
+flips: S becomes the hash side (L1D-resident), R is streamed through it,
+and the matched pairs are recombined into exactly the static plan's rows --
+same order, same column order.  ``static`` is the control arm: identical
+charging machinery, planner-frozen decision.
+
+Both modes are measured with one warm-up execution (the paper's warm-unit
+discipline).  The warm-up also populates the collector's cardinality
+observations, so greedy flips *before* ingesting a single build batch --
+no build work is wasted.
+
+Run with::
+
+    PYTHONPATH=src python examples/adaptive_join.py
+"""
+
+from repro.engine import Session
+from repro.query.plans import describe_plan
+from repro.systems import SYSTEM_B
+from repro.workloads.micro import MicroWorkload
+
+
+def main() -> None:
+    workload = MicroWorkload()  # default scale: R = 6,000 rows, S = 200
+    query = workload.skewed_join()
+
+    results = {}
+    for mode in ("static", "greedy"):
+        database = workload.build()
+        session = Session(database, SYSTEM_B, os_interference=None,
+                          engine="vectorized", adaptivity=mode,
+                          adaptive_joins=True)
+        if mode == "static":
+            print("planner-wrong hash join (build side pinned to R by "
+                  "stale statistics):\n")
+            print(session.explain(query))
+            print()
+        result = session.execute(query, warmup_runs=1)
+        results[mode] = result
+        if mode == "greedy":
+            collector = session.adaptive.collector
+            print("observed cardinalities after the warm-up execution:")
+            for key in ("card:R", "card:S"):
+                print(f"  {key}: {collector.cardinality(key):,.0f} rows")
+            print("  -> greedy flips: build on S, stream R through an "
+                  "L1D-resident hash table\n")
+        session.close()
+
+    static, greedy = results["static"], results["greedy"]
+    assert static.rows == greedy.rows
+    print(f"identical result rows: {greedy.rows}")
+    print(f"{'':24s}{'static':>14s}{'adaptive':>14s}{'reduction':>11s}")
+    for label, value in (
+            ("total cycles", lambda r: r.counters.get("CPU_CLK_UNHALTED")),
+            ("instructions", lambda r: r.counters.get("INST_RETIRED")),
+            ("branch mispredictions",
+             lambda r: r.counters.get("BR_MISS_PRED_RETIRED")),
+            ("L1D stall cycles", lambda r: int(r.breakdown.components["TL1D"])),
+    ):
+        before, after = value(static), value(greedy)
+        print(f"{label:<24s}{before:>14,}{after:>14,}"
+              f"{1 - after / before:>10.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""Smoke-check every command quoted in README.md.
+
+Extracts the commands from README.md's fenced code blocks and verifies each
+one is actually runnable, without paying for a full execution:
+
+* ``scripts/*.py`` -- run with ``--help`` and require exit status 0, so
+  argument parsers and module imports are exercised;
+* ``examples/*.py`` -- byte-compile (they have no CLI; running them is the
+  figure harness's job);
+* ``scripts/*.sh`` -- ``bash -n`` syntax check plus an executability check.
+
+Any README command that names a file that does not exist fails the check --
+documentation that drifts from the tree should break CI, which is the point
+of the docs job.  Exit status: 0 when every quoted command passes.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_docs.py
+"""
+
+from __future__ import annotations
+
+import os
+import py_compile
+import re
+import subprocess
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+README = os.path.join(REPO, "README.md")
+
+#: Matches the script/example path tokens inside quoted commands.
+PATH_PATTERN = re.compile(r"\b((?:scripts|examples)/[\w./-]+\.(?:py|sh))\b")
+
+
+def fenced_blocks(text: str):
+    inside = False
+    for line in text.splitlines():
+        stripped = line.strip()
+        if stripped.startswith("```"):
+            inside = not inside
+            continue
+        if inside:
+            yield stripped
+
+
+def check_python_help(path: str) -> str:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO, "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    proc = subprocess.run([sys.executable, path, "--help"], cwd=REPO, env=env,
+                          capture_output=True, text=True, timeout=120)
+    if proc.returncode != 0:
+        return f"`{path} --help` exited {proc.returncode}: {proc.stderr[-300:]}"
+    return ""
+
+
+def check_command_paths(command: str):
+    """Yield error strings for one quoted command line."""
+    for path in PATH_PATTERN.findall(command):
+        full = os.path.join(REPO, path)
+        if not os.path.exists(full):
+            yield f"README quotes {path}, which does not exist"
+            continue
+        if path.endswith(".sh"):
+            if not os.access(full, os.X_OK):
+                yield f"{path} is not executable"
+            proc = subprocess.run(["bash", "-n", full], capture_output=True,
+                                  text=True)
+            if proc.returncode != 0:
+                yield f"`bash -n {path}` failed: {proc.stderr[-300:]}"
+        elif path.startswith("examples/"):
+            try:
+                py_compile.compile(full, doraise=True)
+            except py_compile.PyCompileError as error:
+                yield f"{path} does not compile: {error}"
+        else:
+            error = check_python_help(path)
+            if error:
+                yield error
+
+
+def main() -> int:
+    with open(README) as handle:
+        text = handle.read()
+    commands = [line for line in fenced_blocks(text)
+                if PATH_PATTERN.search(line)]
+    if not commands:
+        print("README.md quotes no runnable commands -- nothing to check?")
+        return 1
+    errors = []
+    checked = set()
+    for command in commands:
+        key = tuple(PATH_PATTERN.findall(command))
+        if key in checked:
+            continue
+        checked.add(key)
+        command_errors = list(check_command_paths(command))
+        errors.extend(command_errors)
+        print(f"[{'FAIL' if command_errors else 'ok':>4}] {command}")
+    if errors:
+        print("\ndocs check FAILED:")
+        for error in errors:
+            print(f"  - {error}")
+        return 1
+    print(f"\ndocs check passed ({len(checked)} distinct quoted commands)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -3,10 +3,12 @@
 
 Runs the microbenchmark queries (sequential range selection, indexed range
 selection, sequential join) under every engine x layout combination
-(tuple/vectorized x NSM/PAX), plus the skewed-conjunct adaptivity cells
-("ACS": the vectorized engine under ``adaptivity`` off/static/greedy on
-both layouts, recording the greedy policy's branch-misprediction and cycle
-reduction over the static conjunct order), and emits a
+(tuple/vectorized x NSM/PAX), plus the adaptivity cells -- each adaptive
+decision measured off/static/greedy on both layouts, recording greedy's
+reduction over the planner-frozen static execution: ``ACS`` (skewed
+3-conjunct selection, runtime conjunct reordering), ``AJS`` (skewed
+planner-wrong join, runtime join-side selection) and ``ABS`` (50% selection
+with a too-small configured vector, runtime batch sizing) -- and emits a
 ``BENCH_<stamp>.json`` into ``benchmarks/results/`` (gitignored; override
 with ``--out-dir``) recording, per configuration:
 
@@ -59,12 +61,30 @@ ENGINES = ("tuple", "vectorized")
 LAYOUTS = ("nsm", "pax")
 QUERY_KINDS = ("SRS", "IRS", "SJ")
 
-#: Adaptivity modes measured on the skewed-conjunct selection ("ACS") cells:
-#: ``off`` anchors the bit-identity contract of the legacy path, ``static``
-#: is adaptive charging in planner order (the control arm), ``greedy`` is
-#: the runtime-reordered policy whose misprediction/cycle reduction the
-#: adaptivity experiment records.
+#: Adaptivity modes measured on the adaptive cells: ``off`` anchors the
+#: bit-identity contract of the legacy path, ``static`` runs the adaptive
+#: machinery with the planner's decisions (the control arm), ``greedy``
+#: adapts from runtime observations.  Three adaptive workloads:
+#:
+#: * ``ACS`` -- skewed-conjunct selection (PR 4): runtime conjunct
+#:   reordering's misprediction/cycle reduction;
+#: * ``AJS`` -- skewed join (build side pinned to the 30x larger R,
+#:   modelling a stale-stats planner): runtime join-side selection flips to
+#:   build on S; measured with one warm-up run so the collector's
+#:   cardinality observations let greedy flip before wasting build work;
+#: * ``ABS`` -- 50% selection with a deliberately too-small configured
+#:   vector (32 rows): runtime batch sizing walks the bounded ladder from
+#:   observed L1D pressure and recovers the amortisation.
 ADAPTIVE_MODES = ("off", "static", "greedy")
+
+#: Per-kind measurement knobs of the adaptive cells: which decision switch
+#: to enable (for non-``off`` modes), the configured batch size, and the
+#: warm-up discipline.
+ADAPTIVE_KINDS = {
+    "ACS": {},
+    "AJS": {"adaptive_joins": True, "warmup_runs": 1},
+    "ABS": {"adaptive_batching": True, "batch_size": 32},
+}
 
 #: The configuration whose wall clock the perf acceptance criteria track.
 HEADLINE = ("vectorized", "pax", "SRS")
@@ -83,6 +103,10 @@ def query_for(workload, kind: str):
         return workload.indexed_range_selection()
     if kind == "ACS":
         return workload.skewed_conjunct_selection()
+    if kind == "AJS":
+        return workload.skewed_join()
+    if kind == "ABS":
+        return workload.sequential_range_selection(0.5)
     return workload.sequential_join()
 
 
@@ -97,20 +121,30 @@ def measure_cell(runner: ExperimentRunner, engine: str, layout: str, kind: str,
     changes nothing.
     """
     query = query_for(runner.micro_workload, kind)
+    knobs = ADAPTIVE_KINDS.get(kind, {})
+    adaptive_on = adaptivity != "off"
+    session_kwargs = {
+        "adaptive_joins": adaptive_on and knobs.get("adaptive_joins", False),
+        "adaptive_batching": adaptive_on and knobs.get("adaptive_batching",
+                                                       False),
+        "batch_size": knobs.get("batch_size"),
+    }
+    warmup_runs = knobs.get("warmup_runs", 0)
     best = None
     cycles = None
     rows = None
     counters = None
-    # Adaptive greedy/epsilon orderings depend on the morsel partitioning
+    # Adaptive greedy/epsilon decisions depend on the morsel partitioning
     # (only adaptivity="off" promises bit-identity to serial -- DESIGN.md),
     # so the adaptive cells are pinned to a serial session to keep their
     # cycles deterministic under --parallelism.
     parallelism = 1 if adaptivity != "off" else None
     for _ in range(max(repeat, 1)):
         with runner.grid_session(engine, layout, adaptivity=adaptivity,
-                                 parallelism=parallelism) as session:
+                                 parallelism=parallelism,
+                                 **session_kwargs) as session:
             start = time.perf_counter()
-            result = session.execute(query, warmup_runs=0)
+            result = session.execute(query, warmup_runs=warmup_runs)
             elapsed = time.perf_counter() - start
         if best is None or elapsed < best:
             best = elapsed
@@ -148,7 +182,8 @@ def grid_cells() -> List[Tuple[str, str, str, str]]:
     """The 12 engine x layout x query cells plus the adaptivity cells."""
     cells = [(engine, layout, kind, "off") for engine in ENGINES
              for layout in LAYOUTS for kind in QUERY_KINDS]
-    cells.extend(("vectorized", layout, "ACS", mode)
+    cells.extend(("vectorized", layout, kind, mode)
+                 for kind in ADAPTIVE_KINDS
                  for layout in LAYOUTS for mode in ADAPTIVE_MODES)
     return cells
 
@@ -210,27 +245,33 @@ def adaptivity_summary(points: List[dict]) -> Dict[str, dict]:
     """Greedy-vs-static misprediction and cycle reductions per layout.
 
     This is the paper-facing payoff of the adaptive subsystem: the
-    recorded evidence that runtime conjunct reordering removes simulated
-    branch mispredictions (and their cycles) that the static order pays.
+    recorded evidence that each runtime decision (conjunct reordering on
+    the ``ACS`` cells, join-side selection on ``AJS``, batch sizing on
+    ``ABS``) removes simulated work that the planner-frozen (``static``)
+    execution pays.  The ``ACS`` entries stay keyed by bare layout for
+    continuity with earlier records; the newer decisions key as
+    ``"<kind>/<layout>"``.
     """
     by_key = {_cell_key(p): p for p in points}
     summary: Dict[str, dict] = {}
-    for layout in LAYOUTS:
-        static = by_key.get(("vectorized", layout, "ACS", "static"))
-        greedy = by_key.get(("vectorized", layout, "ACS", "greedy"))
-        if static is None or greedy is None:
-            continue
-        summary[layout] = {
-            "static_mispredictions": static["branch_mispredictions"],
-            "greedy_mispredictions": greedy["branch_mispredictions"],
-            "misprediction_reduction": round(
-                1.0 - greedy["branch_mispredictions"]
-                / max(static["branch_mispredictions"], 1), 4),
-            "static_cycles": static["cycles"],
-            "greedy_cycles": greedy["cycles"],
-            "cycle_reduction": round(
-                1.0 - greedy["cycles"] / max(static["cycles"], 1), 4),
-        }
+    for kind in ADAPTIVE_KINDS:
+        for layout in LAYOUTS:
+            static = by_key.get(("vectorized", layout, kind, "static"))
+            greedy = by_key.get(("vectorized", layout, kind, "greedy"))
+            if static is None or greedy is None:
+                continue
+            label = layout if kind == "ACS" else f"{kind}/{layout}"
+            summary[label] = {
+                "static_mispredictions": static["branch_mispredictions"],
+                "greedy_mispredictions": greedy["branch_mispredictions"],
+                "misprediction_reduction": round(
+                    1.0 - greedy["branch_mispredictions"]
+                    / max(static["branch_mispredictions"], 1), 4),
+                "static_cycles": static["cycles"],
+                "greedy_cycles": greedy["cycles"],
+                "cycle_reduction": round(
+                    1.0 - greedy["cycles"] / max(static["cycles"], 1), 4),
+            }
     return summary
 
 

@@ -1,9 +1,11 @@
-"""The adaptive evaluation engine: decompose, reorder, short-circuit.
+"""The adaptive execution manager: decompose, reorder, short-circuit, decide.
 
 :class:`AdaptiveExecution` is the object the execution layer talks to.  It
-owns one ordering policy and one
-:class:`~repro.adaptive.stats.RuntimeStatsCollector`, and it replaces the
-single ``predicate.evaluate_batch`` call of a vectorized filter with a
+owns one decision policy and one
+:class:`~repro.adaptive.stats.RuntimeStatsCollector`, carries the opt-in
+``join_sides`` / ``batch_sizing`` decision switches the vectorized hash
+join and sequential scans consult, and replaces the single
+``predicate.evaluate_batch`` call of a vectorized filter with a
 per-conjunct short-circuit pipeline:
 
 1. the ``And`` tree is flattened into conjuncts (nested ``And`` s too;
@@ -89,21 +91,44 @@ def _resolve_vector(columns: Mapping[str, Sequence], name: str) -> Sequence:
 
 
 class AdaptiveExecution:
-    """Policy + statistics + the short-circuit conjunct evaluator.
+    """Policy + statistics + the runtime decisions the engine consults.
 
     One instance lives on an :class:`~repro.execution.context.
     ExecutionContext` (attached by the session when
     ``adaptivity != "off"``); morsel workers build a private instance from
     the spec's snapshot and their data-side observations ride the charge
     tapes back into the parent's instance.
+
+    Beyond the PR 4 conjunct-reordering decision (always active when the
+    manager exists and the predicate is a multi-conjunct conjunction), the
+    manager carries two opt-in decision switches, threaded from
+    ``ExecutionConfig``:
+
+    * ``join_sides`` -- the vectorized hash join consults
+      :meth:`~repro.adaptive.policy.AdaptivePolicy.flip_join` between
+      build-side batches and may build on the probe side instead
+      (rows and column order stay identical to the static plan);
+    * ``batch_sizing`` -- vectorized sequential scans accumulate vectors
+      across page boundaries and consult
+      :meth:`~repro.adaptive.policy.AdaptivePolicy.batch_size` from the
+      observed L1D miss pressure.
+
+    >>> manager = AdaptiveExecution("greedy", join_sides=True)
+    >>> clone = AdaptiveExecution.from_snapshot(manager.snapshot())
+    >>> (clone.mode, clone.join_sides, clone.batch_sizing)
+    ('greedy', True, False)
     """
 
     def __init__(self, mode: str,
                  policy: Optional[AdaptivePolicy] = None,
-                 collector: Optional[RuntimeStatsCollector] = None) -> None:
+                 collector: Optional[RuntimeStatsCollector] = None,
+                 join_sides: bool = False,
+                 batch_sizing: bool = False) -> None:
         self.mode = mode
         self.policy = policy or make_policy(mode)
         self.collector = collector or RuntimeStatsCollector()
+        self.join_sides = join_sides
+        self.batch_sizing = batch_sizing
         self._plans: Dict[int, _ConjunctPlan] = {}
 
     # ------------------------------------------------------------ plumbing
@@ -122,13 +147,17 @@ class AdaptiveExecution:
         """Picklable state a morsel worker resumes from."""
         return {"mode": self.mode,
                 "collector": self.collector.snapshot(),
-                "policy": self.policy.state()}
+                "policy": self.policy.state(),
+                "join_sides": self.join_sides,
+                "batch_sizing": self.batch_sizing}
 
     @classmethod
     def from_snapshot(cls, snapshot: Optional[dict]) -> "AdaptiveExecution":
         snapshot = snapshot or {}
         mode = snapshot.get("mode", "static")
-        manager = cls(mode)
+        manager = cls(mode,
+                      join_sides=bool(snapshot.get("join_sides", False)),
+                      batch_sizing=bool(snapshot.get("batch_sizing", False)))
         manager.collector = RuntimeStatsCollector.from_snapshot(
             snapshot.get("collector"))
         manager.policy.restore(snapshot.get("policy"))

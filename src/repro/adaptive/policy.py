@@ -1,10 +1,34 @@
-"""Conjunct-ordering policies for micro-adaptive execution.
+"""Runtime-adaptation policies: conjunct order, join sides, batch size.
 
-All policies implement one interface -- given the conjuncts' stable keys,
-their static per-row costs and the current
-:class:`~repro.adaptive.stats.RuntimeStatsCollector`, return the order in
-which to evaluate them -- so the execution layer is policy-agnostic and new
-strategies slot in without touching an operator.
+All policies implement one interface per *decision* -- given the relevant
+stable keys, the static (planner-time) inputs and the current
+:class:`~repro.adaptive.stats.RuntimeStatsCollector`, return the decision --
+so the execution layer is policy-agnostic and new strategies slot in
+without touching an operator.  The three decisions:
+
+* :meth:`AdaptivePolicy.order` -- the evaluation order of a multi-conjunct
+  filter (PR 4's original decision);
+* :meth:`AdaptivePolicy.flip_join` -- whether a vectorized hash join should
+  abandon the planner's build side and build on the probe side instead,
+  consulted between build-side batches;
+* :meth:`AdaptivePolicy.batch_size` -- the next vector size of a scan,
+  stepped through the bounded :data:`BATCH_SIZE_LADDER` from observed L1D
+  miss pressure, consulted between batches (serial) or between morsel waves
+  (parallel).
+
+``StaticPolicy`` answers every decision with the planner's choice, which
+makes it the control arm of every adaptivity experiment: static vs greedy
+isolates exactly the effect of the runtime decision under identical
+charging.
+
+>>> stats = RuntimeStatsCollector()
+>>> policy = GreedyRankPolicy()
+>>> policy.flip_join("card:R", "card:S", probe_estimate=200,
+...                  seen_build_rows=0, stats=stats)
+False
+>>> policy.flip_join("card:R", "card:S", probe_estimate=200,
+...                  seen_build_rows=300, stats=stats)
+True
 
 ``GreedyRankPolicy`` implements the classical optimal ordering for
 independent selection predicates (Hellerstein's predicate migration rank):
@@ -43,9 +67,32 @@ _HASH_CONSTANT = 2654435761
 #: Selectivity assumed for a conjunct with no observations yet.
 DEFAULT_SELECTIVITY = 0.5
 
+#: The bounded batch-size ladder.  Rungs double so the search space stays
+#: tiny; the bounds keep an adaptive scan from degenerating into
+#: tuple-at-a-time execution (below 32 the per-batch routine invocation
+#: dominates) or unbounded vectors (above 1024 a single column vector of a
+#: hot scan exceeds the whole 16 KB L1 D-cache many times over, so there is
+#: nothing left to learn -- the working set cannot re-fit by growing).
+BATCH_SIZE_LADDER = (32, 64, 128, 256, 512, 1024)
+
+#: A join side flip requires the evidence (observed build rows) to exceed
+#: the probe-side expectation by this factor -- hysteresis against flipping
+#: on near-balanced inputs, where the flip's rebuild cost outweighs it.
+JOIN_FLIP_HYSTERESIS = 1.25
+
+#: Batch-size rungs whose observed misses-per-row are within this slack of
+#: the best rung count as "fitting L1D"; the largest fitting rung wins (it
+#: amortises the per-batch routine invocation hardest).
+PRESSURE_SLACK = 0.15
+
 
 class AdaptivePolicy:
-    """Interface: choose the evaluation order for a batch of conjuncts."""
+    """Interface: one method per runtime decision (order / flip / size).
+
+    The base class answers the join-side and batch-size decisions with the
+    planner's choice (never flip, keep the size), so a policy only overrides
+    the decisions it actually adapts.
+    """
 
     #: Name threaded through ``ExecutionConfig.adaptivity``.
     name = "abstract"
@@ -54,6 +101,28 @@ class AdaptivePolicy:
               stats: RuntimeStatsCollector) -> Tuple[int, ...]:
         """Return the conjunct indices in evaluation order."""
         raise NotImplementedError
+
+    def flip_join(self, build_key: str, probe_key: str, probe_estimate: int,
+                  seen_build_rows: int, stats: RuntimeStatsCollector) -> bool:
+        """Should the hash join flip its build/probe sides *now*?
+
+        Consulted before each build-side batch is ingested.
+        ``seen_build_rows`` is the build cardinality observed so far in this
+        execution; historical cardinalities (earlier executions, merged
+        worker stats) live in ``stats``.  Default: trust the planner.
+        """
+        return False
+
+    def batch_size(self, key: str, current: int,
+                   stats: RuntimeStatsCollector,
+                   ladder: Sequence[int] = BATCH_SIZE_LADDER) -> int:
+        """The next vector size for the scan ``key`` (bounded by ``ladder``).
+
+        Consulted after each batch's L1D pressure has been observed (serial
+        scans) or between morsel waves (the exchange, from merged worker
+        stats).  Default: keep the configured size.
+        """
+        return current
 
     # ---------------------------------------------------- snapshot plumbing
     def state(self) -> Dict[str, int]:
@@ -96,14 +165,100 @@ def greedy_rank_order(keys: Sequence[str], costs: Sequence[int],
     return tuple(sorted(range(len(keys)), key=lambda i: (rank(i), i)))
 
 
+def greedy_flip_join(build_key: str, probe_key: str, probe_estimate: int,
+                     seen_build_rows: int,
+                     stats: RuntimeStatsCollector) -> bool:
+    """Flip when *observed* build cardinality contradicts the planner.
+
+    The planner chose the build side because it believed it the smaller
+    input.  The decision deliberately weighs only **observations** against
+    the probe-side expectation -- the engine does not re-litigate the
+    planner's estimates, it reacts to evidence: either this execution has
+    already streamed more build rows than the probe side is expected to
+    hold (``seen_build_rows``, the cold-run trigger), or earlier executions
+    / merged morsel waves measured the build input's cardinality
+    (``stats.cardinality(build_key)``, the warm-run trigger that flips
+    before any build work is wasted).  The probe expectation prefers the
+    observed probe cardinality and falls back to the planner's estimate.
+    """
+    expected_probe = stats.cardinality(probe_key)
+    if expected_probe is None:
+        expected_probe = float(probe_estimate)
+    if expected_probe <= 0:
+        return False
+    expected_build = stats.cardinality(build_key) or 0.0
+    evidence = max(float(seen_build_rows), expected_build)
+    return evidence > JOIN_FLIP_HYSTERESIS * expected_probe
+
+
+def greedy_batch_size(key: str, current: int, stats: RuntimeStatsCollector,
+                      ladder: Sequence[int] = BATCH_SIZE_LADDER) -> int:
+    """One ladder step per decision: explore untried neighbours, then settle.
+
+    The rule is deterministic and needs no absolute miss-rate threshold:
+
+    1. if the rung below ``current`` is unobserved, try it (explore down);
+    2. else if the rung above is unobserved, try it (explore up);
+    3. else settle on the **largest** observed rung whose misses-per-row is
+       within :data:`PRESSURE_SLACK` of the best observed rung.
+
+    Exploration walks each rung at most once (observations are cumulative,
+    so a rung that thrashed L1D stays disqualified), after which the scan
+    sits on the largest vector size whose working set still fits -- growing
+    amortises the per-batch routine invocation, shrinking restores L1D
+    reuse between a batch's column passes.
+
+    >>> stats = RuntimeStatsCollector()
+    >>> stats.observe_pressure("scan:R", 128, rows=128, l1d_misses=40)
+    >>> greedy_batch_size("scan:R", 128, stats, ladder=(64, 128, 256))
+    64
+    >>> stats.observe_pressure("scan:R", 64, rows=64, l1d_misses=20)
+    >>> greedy_batch_size("scan:R", 64, stats, ladder=(64, 128, 256))
+    128
+    >>> greedy_batch_size("scan:R", 128, stats, ladder=(64, 128, 256))
+    256
+    >>> stats.observe_pressure("scan:R", 256, rows=256, l1d_misses=900)
+    >>> greedy_batch_size("scan:R", 256, stats, ladder=(64, 128, 256))
+    128
+    """
+    rungs = sorted(set(ladder) | {current})
+    profile = stats.pressure_profile(key)
+    observed = {size: pressure.misses_per_row
+                for size, pressure in profile.items()
+                if size in rungs and pressure.misses_per_row is not None}
+    position = rungs.index(current)
+    if position > 0 and rungs[position - 1] not in observed:
+        return rungs[position - 1]
+    if position + 1 < len(rungs) and rungs[position + 1] not in observed:
+        return rungs[position + 1]
+    if not observed:
+        return current
+    best = min(observed.values())
+    budget = best * (1.0 + PRESSURE_SLACK) + 1e-9
+    fitting = [size for size, rate in observed.items() if rate <= budget]
+    return max(fitting) if fitting else current
+
+
 class GreedyRankPolicy(AdaptivePolicy):
-    """Order conjuncts by observed selectivity-per-cost (best rank first)."""
+    """Greedy on every decision: rank conjuncts by observed
+    selectivity-per-cost, flip join sides on contradicting cardinality
+    evidence, climb the batch-size ladder from observed L1D pressure."""
 
     name = "greedy"
 
     def order(self, keys: Sequence[str], costs: Sequence[int],
               stats: RuntimeStatsCollector) -> Tuple[int, ...]:
         return greedy_rank_order(keys, costs, stats)
+
+    def flip_join(self, build_key: str, probe_key: str, probe_estimate: int,
+                  seen_build_rows: int, stats: RuntimeStatsCollector) -> bool:
+        return greedy_flip_join(build_key, probe_key, probe_estimate,
+                                seen_build_rows, stats)
+
+    def batch_size(self, key: str, current: int,
+                   stats: RuntimeStatsCollector,
+                   ladder: Sequence[int] = BATCH_SIZE_LADDER) -> int:
+        return greedy_batch_size(key, current, stats, ladder)
 
 
 class EpsilonGreedyPolicy(AdaptivePolicy):
@@ -135,6 +290,21 @@ class EpsilonGreedyPolicy(AdaptivePolicy):
         # and its unconditional selectivity stays current.
         rotation = 1 + (draw // 10_000) % (count - 1)
         return greedy[rotation:] + greedy[:rotation]
+
+    def flip_join(self, build_key: str, probe_key: str, probe_estimate: int,
+                  seen_build_rows: int, stats: RuntimeStatsCollector) -> bool:
+        # Exploration buys nothing for a one-shot side decision (the flip's
+        # evidence is direct cardinality observation, not conditional on a
+        # prior decision), so epsilon matches greedy here.
+        return greedy_flip_join(build_key, probe_key, probe_estimate,
+                                seen_build_rows, stats)
+
+    def batch_size(self, key: str, current: int,
+                   stats: RuntimeStatsCollector,
+                   ladder: Sequence[int] = BATCH_SIZE_LADDER) -> int:
+        # The ladder rule already explores every rung once (optimism about
+        # unobserved neighbours), so epsilon matches greedy here too.
+        return greedy_batch_size(key, current, stats, ladder)
 
     def state(self) -> Dict[str, int]:
         return {"decisions": self.decisions}

@@ -9,22 +9,43 @@ estimates it does not have; the engine can, because per-batch selectivity is
 directly observable.
 
 :class:`RuntimeStatsCollector` is the observation half of that loop.  It
-keeps one :class:`ConjunctStats` per conjunct (keyed by the conjunct's
-stable textual identity) recording
+records three families of observations, all keyed by stable strings:
 
-* data-side observations -- rows in, rows passed, batches seen -- which are
-  pure functions of the stored data and therefore also observable inside
-  morsel workers (they ride the charge tapes back to the parent), and
-* hardware-side observations -- simulated branch outcomes and
-  mispredictions -- which only the real
-  :class:`~repro.execution.context.ExecutionContext` can produce, because
-  only it drives a branch predictor.
+* **per-conjunct** (:class:`ConjunctStats`, keyed by the conjunct's textual
+  identity): rows in / rows passed / batches -- pure functions of the stored
+  data, so morsel workers can observe them too (they ride the charge tapes
+  back to the parent) -- plus simulated branch outcomes, which only the real
+  :class:`~repro.execution.context.ExecutionContext` can produce because
+  only it drives a branch predictor;
+* **per-operator cardinalities** (:class:`CardinalityStats`, keyed by a
+  plan-side identity such as the source table of a join input): how many
+  rows an operator input actually produced per execution.  Cardinalities
+  are *not* additive across executions, so the collector keeps a running
+  total plus an observation count and exposes the mean -- the runtime
+  estimate the adaptive join-side decision weighs against the planner's
+  guess; and
+* **per-scan L1D pressure** (:class:`BatchPressureStats`, keyed by scan and
+  bucketed by the vector size that produced them): rows processed and
+  simulated L1 data-cache misses per batch-size rung, the signal the
+  adaptive batch-size ladder climbs.
 
 Everything is plain integer counters: collectors pickle compactly across
 the morsel process boundary and :meth:`merge` is commutative (sums only),
 exactly like the PR 3 worker-telemetry types (``EventCounters``,
 ``CacheStats``, ``TLBStats``, ``BranchStats``), so tape replay order cannot
 change what a policy eventually sees.
+
+>>> collector = RuntimeStatsCollector()
+>>> collector.observe_batch("a2 < 10", rows_in=256, rows_passed=16)
+>>> round(collector.selectivity("a2 < 10"), 3)
+0.062
+>>> collector.observe_cardinality("card:S", 200)
+>>> collector.cardinality("card:S")
+200.0
+>>> collector.observe_pressure("scan:R", size=256, rows=256, l1d_misses=310)
+>>> clone = RuntimeStatsCollector.from_snapshot(collector.snapshot())
+>>> clone.pressure["scan:R"][256].l1d_misses
+310
 """
 
 from __future__ import annotations
@@ -92,13 +113,82 @@ class ConjunctStats:
                        "branches_taken", "mispredictions")})
 
 
-class RuntimeStatsCollector:
-    """Per-conjunct runtime observations, mergeable in any order."""
+@dataclass
+class CardinalityStats:
+    """Observed output cardinality of one operator input (per execution).
 
-    __slots__ = ("conjuncts",)
+    A cardinality is a per-execution quantity, so summing across executions
+    would be meaningless; the pair (total rows, observation count) *is*
+    commutatively mergeable, and the mean is the runtime estimate policies
+    consume.
+    """
+
+    rows: int = 0
+    observations: int = 0
+
+    @property
+    def mean(self) -> Optional[float]:
+        if self.observations <= 0:
+            return None
+        return self.rows / self.observations
+
+    def merge(self, other: "CardinalityStats") -> "CardinalityStats":
+        self.rows += other.rows
+        self.observations += other.observations
+        return self
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"rows": self.rows, "observations": self.observations}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, int]) -> "CardinalityStats":
+        return cls(rows=int(data.get("rows", 0)),
+                   observations=int(data.get("observations", 0)))
+
+
+@dataclass
+class BatchPressureStats:
+    """Rows and simulated L1D misses charged at one batch-size rung."""
+
+    rows: int = 0
+    l1d_misses: int = 0
+    batches: int = 0
+
+    @property
+    def misses_per_row(self) -> Optional[float]:
+        if self.rows <= 0:
+            return None
+        return self.l1d_misses / self.rows
+
+    def merge(self, other: "BatchPressureStats") -> "BatchPressureStats":
+        self.rows += other.rows
+        self.l1d_misses += other.l1d_misses
+        self.batches += other.batches
+        return self
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"rows": self.rows, "l1d_misses": self.l1d_misses,
+                "batches": self.batches}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, int]) -> "BatchPressureStats":
+        return cls(rows=int(data.get("rows", 0)),
+                   l1d_misses=int(data.get("l1d_misses", 0)),
+                   batches=int(data.get("batches", 0)))
+
+
+class RuntimeStatsCollector:
+    """Runtime observations (conjuncts, cardinalities, L1D pressure),
+    mergeable in any order."""
+
+    __slots__ = ("conjuncts", "cardinalities", "pressure")
 
     def __init__(self) -> None:
         self.conjuncts: Dict[str, ConjunctStats] = {}
+        #: Per-operator-input observed cardinalities (join-side decision).
+        self.cardinalities: Dict[str, CardinalityStats] = {}
+        #: Per-scan, per-batch-size-rung L1D pressure (batch-size decision).
+        self.pressure: Dict[str, Dict[int, BatchPressureStats]] = {}
 
     def stats_for(self, key: str) -> ConjunctStats:
         stats = self.conjuncts.get(key)
@@ -123,6 +213,30 @@ class RuntimeStatsCollector:
         stats.branches_taken += taken
         stats.mispredictions += mispredictions
 
+    def observe_cardinality(self, key: str, rows: int) -> None:
+        """Record that the operator input ``key`` produced ``rows`` rows in
+        one complete execution (not additive across executions -- the mean
+        over observations is the estimate)."""
+        stats = self.cardinalities.get(key)
+        if stats is None:
+            stats = self.cardinalities[key] = CardinalityStats()
+        stats.rows += rows
+        stats.observations += 1
+
+    def observe_pressure(self, key: str, size: int, rows: int,
+                         l1d_misses: int) -> None:
+        """Record one batch's simulated L1D misses at batch-size rung
+        ``size`` for the scan identified by ``key``."""
+        rungs = self.pressure.get(key)
+        if rungs is None:
+            rungs = self.pressure[key] = {}
+        stats = rungs.get(size)
+        if stats is None:
+            stats = rungs[size] = BatchPressureStats()
+        stats.rows += rows
+        stats.l1d_misses += l1d_misses
+        stats.batches += 1
+
     # ------------------------------------------------------------- queries
     def selectivity(self, key: str, default: float = 0.5) -> float:
         """Observed selectivity of a conjunct (``default`` until observed)."""
@@ -139,21 +253,61 @@ class RuntimeStatsCollector:
     def total_rows_in(self) -> int:
         return sum(stats.rows_in for stats in self.conjuncts.values())
 
+    def cardinality(self, key: str) -> Optional[float]:
+        """Mean observed cardinality of an operator input (``None`` until
+        observed at least once)."""
+        stats = self.cardinalities.get(key)
+        if stats is None:
+            return None
+        return stats.mean
+
+    def pressure_profile(self, key: str) -> Dict[int, BatchPressureStats]:
+        """Observed L1D pressure per batch-size rung for one scan key."""
+        return self.pressure.get(key, {})
+
     # ------------------------------------------------------ merge/snapshot
     def merge(self, other: "RuntimeStatsCollector") -> "RuntimeStatsCollector":
         """Commutatively fold ``other`` into this collector (sums only)."""
         for key, stats in other.conjuncts.items():
             self.stats_for(key).merge(stats)
+        for key, cardinality in other.cardinalities.items():
+            mine = self.cardinalities.get(key)
+            if mine is None:
+                mine = self.cardinalities[key] = CardinalityStats()
+            mine.merge(cardinality)
+        for key, rungs in other.pressure.items():
+            my_rungs = self.pressure.get(key)
+            if my_rungs is None:
+                my_rungs = self.pressure[key] = {}
+            for size, stats in rungs.items():
+                mine = my_rungs.get(size)
+                if mine is None:
+                    mine = my_rungs[size] = BatchPressureStats()
+                mine.merge(stats)
         return self
 
-    def snapshot(self) -> Dict[str, Dict[str, int]]:
+    def snapshot(self) -> Dict[str, Dict]:
         """Plain-dict rendering (picklable; rides morsel specs and tapes)."""
-        return {key: stats.as_dict() for key, stats in self.conjuncts.items()}
+        return {
+            "conjuncts": {key: stats.as_dict()
+                          for key, stats in self.conjuncts.items()},
+            "cardinalities": {key: stats.as_dict()
+                              for key, stats in self.cardinalities.items()},
+            "pressure": {key: {size: stats.as_dict()
+                               for size, stats in rungs.items()}
+                         for key, rungs in self.pressure.items()},
+        }
 
     @classmethod
-    def from_snapshot(cls, snapshot: Optional[Dict[str, Dict[str, int]]]
+    def from_snapshot(cls, snapshot: Optional[Dict[str, Dict]]
                       ) -> "RuntimeStatsCollector":
         collector = cls()
-        for key, data in (snapshot or {}).items():
+        snapshot = snapshot or {}
+        for key, data in (snapshot.get("conjuncts") or {}).items():
             collector.conjuncts[key] = ConjunctStats.from_dict(data)
+        for key, data in (snapshot.get("cardinalities") or {}).items():
+            collector.cardinalities[key] = CardinalityStats.from_dict(data)
+        for key, rungs in (snapshot.get("pressure") or {}).items():
+            collector.pressure[key] = {int(size): BatchPressureStats.from_dict(data)
+                                       for size, data in rungs.items()}
         return collector

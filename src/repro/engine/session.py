@@ -82,7 +82,9 @@ class Session:
                  parallelism: int = 1,
                  parallel_backend: str = "process",
                  morsel_pages: Optional[int] = None,
-                 adaptivity: str = ADAPTIVITY_OFF) -> None:
+                 adaptivity: str = ADAPTIVITY_OFF,
+                 adaptive_joins: bool = False,
+                 adaptive_batching: bool = False) -> None:
         """``parallelism=N`` (N > 1) enables the morsel-parallel exchange
         for vectorized sequential scans: page morsels are produced by N
         workers (``parallel_backend="process"`` forks a pool inheriting the
@@ -90,13 +92,19 @@ class Session:
         charge tapes are replayed in canonical order, so result rows and
         every simulated hardware count are identical to ``parallelism=1``.
 
-        ``adaptivity`` selects the micro-adaptive conjunct-reordering mode
-        for vectorized multi-conjunct filters (:mod:`repro.adaptive`):
-        ``"off"`` (default, bit-identical to previous releases),
-        ``"static"`` (adaptive charging, planner order -- the experiment's
-        control arm), ``"greedy"`` (observed selectivity-per-cost rank) or
-        ``"epsilon"`` (greedy with deterministic exploration).  Result rows
-        are identical in every mode.
+        ``adaptivity`` selects the runtime-adaptation mode
+        (:mod:`repro.adaptive`): ``"off"`` (default, bit-identical to
+        previous releases), ``"static"`` (adaptive charging, planner
+        decisions -- the experiments' control arm), ``"greedy"`` (adapt
+        every enabled decision from observations) or ``"epsilon"`` (greedy
+        with deterministic exploration of conjunct orders).  Multi-conjunct
+        filter reordering is active under any non-``off`` mode;
+        ``adaptive_joins=True`` additionally lets the vectorized hash join
+        flip its build/probe sides when observed cardinalities contradict
+        the planner, and ``adaptive_batching=True`` lets vectorized
+        sequential scans resize their vectors within the bounded ladder
+        from observed L1D miss pressure.  Result rows are identical in
+        every combination.
         """
         self.database = database
         self.profile = profile
@@ -109,7 +117,9 @@ class Session:
                                                          charge_mode=charge_mode,
                                                          workers=max(parallelism, 1),
                                                          morsel_pages=morsel_pages,
-                                                         adaptivity=adaptivity))
+                                                         adaptivity=adaptivity,
+                                                         adaptive_joins=adaptive_joins,
+                                                         adaptive_batching=adaptive_batching))
         self.code_layout = CodeLayout(profile, database.address_space)
         self.context = ExecutionContext(self.processor, profile,
                                         database.address_space,
@@ -117,7 +127,9 @@ class Session:
                                         charge_mode=charge_mode)
         self.adaptive: Optional[AdaptiveExecution] = None
         if adaptivity != ADAPTIVITY_OFF:
-            self.adaptive = AdaptiveExecution(adaptivity)
+            self.adaptive = AdaptiveExecution(adaptivity,
+                                              join_sides=adaptive_joins,
+                                              batch_sizing=adaptive_batching)
             self.context.adaptive = self.adaptive
         self.parallel: Optional[ParallelExecution] = None
         if parallelism > 1:

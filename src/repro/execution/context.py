@@ -280,6 +280,20 @@ class ExecutionContext:
         if self.adaptive is not None:
             self.adaptive.collector.observe_batch(key, rows_in, rows_passed)
 
+    def l1d_misses(self) -> Optional[int]:
+        """Current simulated L1 data-cache miss total (all ports).
+
+        The adaptive batch-size decision samples this around a scan batch's
+        charges; the delta is the batch's L1D pressure.  Span and
+        per-address charging produce identical miss counts by contract, so
+        the observed pressure -- and therefore every downstream sizing
+        decision -- is charge-mode independent.  A morsel worker's
+        :class:`~repro.execution.parallel.TapeRecorder` returns ``None``
+        (it drives no hardware); pressure is then observed by the parent at
+        tape-replay time instead.
+        """
+        return self.processor.caches.l1d.stats.total_misses
+
     def total_invocations(self) -> int:
         """Total interpreted routine invocations charged so far."""
         return sum(self.op_invocations.values())

@@ -182,6 +182,12 @@ class TapeRecorder:
         self.rows_produced += count
         self.ops.append((_OP_ROWS, count))
 
+    def l1d_misses(self) -> None:
+        """Workers drive no simulated hardware, so there is no L1D to
+        observe; the batch-size-adaptive scan keeps the spec's fixed size
+        and the parent observes the pressure at tape-replay time."""
+        return None
+
     def take(self) -> List[ChargeOp]:
         """Return and clear the ops recorded since the last call."""
         ops = self.ops
@@ -452,12 +458,13 @@ class VecExchangeOperator:
 
     # VectorOperator protocol ------------------------------------------------
     def _spec_for(self, span: Tuple[int, int], adaptivity: str,
-                  adaptive_state: Optional[dict]) -> MorselSpec:
+                  adaptive_state: Optional[dict],
+                  batch_size: Optional[int] = None) -> MorselSpec:
         return MorselSpec(table=self.table.name, page_start=span[0],
                           page_stop=span[1], predicate=self.predicate,
                           output_columns=self.output_columns,
                           next_operation=self.next_operation,
-                          batch_size=self.batch_size,
+                          batch_size=batch_size or self.batch_size,
                           count_records=self.count_records,
                           charge_mode=self.ctx.charge_mode,
                           profile=self.ctx.profile,
@@ -471,13 +478,16 @@ class VecExchangeOperator:
         page_count = self.table.heap.page_count
         morsel_pages = parallel.default_morsel_pages(page_count)
         spans = partition_pages(page_count, morsel_pages)
-        adaptive = getattr(ctx, "adaptive", None)
-        if adaptive is not None and not adaptive.applies(self.predicate):
-            adaptive = None
-        if adaptive is None:
+        manager = getattr(ctx, "adaptive", None)
+        conjuncts_active = (manager is not None
+                            and manager.applies(self.predicate))
+        batch_sizing = manager is not None and manager.batch_sizing
+        if not (conjuncts_active or batch_sizing):
+            manager = None
+        if manager is None:
             waves = [[self._spec_for(span, "off", None) for span in spans]]
         else:
-            # Adaptive filters re-plan *between morsel waves*: each wave of
+            # Adaptive decisions re-plan *between morsel waves*: each wave of
             # ``workers`` morsels is dispatched with the manager state merged
             # from every earlier wave's tapes (the replay below folds worker
             # observations into the parent's collector before the next wave's
@@ -487,26 +497,48 @@ class VecExchangeOperator:
             wave_size = max(parallel.workers, 1)
             waves = [spans[start:start + wave_size]
                      for start in range(0, len(spans), wave_size)]
+        pressure_key = f"scan:{self.table.name}"
+        current_size = max(int(self.batch_size), 1)
         for wave in waves:
-            if adaptive is None:
+            if manager is None:
                 specs = wave
             else:
-                snapshot = adaptive.snapshot()
-                specs = [self._spec_for(span, adaptive.mode, snapshot)
+                snapshot = manager.snapshot()
+                specs = [self._spec_for(span, manager.mode, snapshot,
+                                        batch_size=current_size)
                          for span in wave]
             wave_batches = 0
             for result in parallel.run_morsels(specs):
                 wave_batches += len(result.batches)
                 for columns, length, ops in result.batches:
-                    replay_tape(ops, ctx)
+                    if batch_sizing:
+                        # The worker could not observe L1D pressure (it has
+                        # no hardware); the replay below is where the
+                        # batch's charges reach the real caches, so this is
+                        # where the pressure observation happens -- exactly
+                        # once per batch, mirroring the serial scan.
+                        before = ctx.l1d_misses()
+                        replay_tape(ops, ctx)
+                        rows_in = next(
+                            (op[2] for op in ops
+                             if op[0] == _OP_VISIT_BATCH
+                             and op[1] == self.next_operation), length)
+                        manager.collector.observe_pressure(
+                            pressure_key, current_size, rows_in,
+                            ctx.l1d_misses() - before)
+                    else:
+                        replay_tape(ops, ctx)
                     yield ColumnBatch(columns, length)
                 if result.trailing_ops:
                     replay_tape(result.trailing_ops, ctx)
-            if adaptive is not None:
+            if conjuncts_active:
                 # Each scan batch was one ordering decision in a worker;
                 # advance the parent policy so the next wave's snapshot
                 # continues (not restarts) any internal decision sequence.
-                adaptive.policy.advance(wave_batches)
+                manager.policy.advance(wave_batches)
+            if batch_sizing:
+                current_size = max(int(manager.policy.batch_size(
+                    pressure_key, current_size, manager.collector)), 1)
 
     def rows(self):
         for batch in self.batches():

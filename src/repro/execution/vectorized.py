@@ -229,10 +229,17 @@ class VecSeqScanOperator(VectorOperator):
         # Micro-adaptive conjunct reordering engages only when a manager is
         # attached (``adaptivity != "off"``) *and* the predicate is a
         # multi-conjunct conjunction; otherwise the static path below is
-        # untouched (bit-identical to previous releases).
-        adaptive = getattr(ctx, "adaptive", None)
+        # untouched (bit-identical to previous releases).  When the manager
+        # additionally enables batch sizing, the scan switches to the
+        # cross-page accumulation path whose vector size walks the bounded
+        # ladder (the conjunct evaluator composes with it unchanged).
+        manager = getattr(ctx, "adaptive", None)
+        adaptive = manager
         if adaptive is not None and not adaptive.applies(predicate):
             adaptive = None
+        if manager is not None and manager.batch_sizing:
+            yield from self._adaptive_batches(manager, adaptive)
+            return
         if self.page_range is not None:
             pages = table.heap.scan_pages(*self.page_range)
         else:
@@ -270,6 +277,116 @@ class VecSeqScanOperator(VectorOperator):
                 if self.count_records:
                     ctx.record_done(count)
                 yield ColumnBatch(out_columns, out_count)
+
+    def _adaptive_batches(self, manager, conjuncts) -> Iterator[ColumnBatch]:
+        """Batch-size-adaptive scan: accumulate slot runs across pages into
+        vectors of the policy-chosen size.
+
+        Unlike the static path, whose chunks never span a page (so the
+        configured batch size is silently capped at the page's slot count),
+        this path gathers ``(page, slots)`` segments until the current
+        target size is reached -- the working set of a batch is therefore
+        really under the policy's control.  After each batch the simulated
+        L1D miss delta is observed into the collector at the batch's size
+        rung and the policy picks the next size from the bounded ladder.
+        Inside a morsel worker the context exposes no hardware
+        (``l1d_misses() is None``): the worker keeps the spec's fixed size
+        and the parent observes the pressure at tape-replay time instead,
+        re-deciding between waves -- so serial charging and replayed
+        charging observe the same signal exactly once.
+        """
+        ctx = self.ctx
+        table = self.table
+        layout = table.layout
+        predicate = self.predicate
+        names = self.predicate_columns
+        policy = manager.policy
+        collector = manager.collector
+        pressure_key = f"scan:{table.name}"
+        size = max(int(self.batch_size), 1)
+        pending: List[Tuple[object, Sequence[int]]] = []
+        pending_rows = 0
+
+        def flush() -> Optional[ColumnBatch]:
+            nonlocal pending, pending_rows, size
+            if not pending_rows:
+                return None
+            count = pending_rows
+            rung = size
+            before = ctx.l1d_misses()
+            ctx.visit_batch(self.next_operation, count)
+            columns: Dict[str, List] = {name: [] for name in names}
+            for page, slots in pending:
+                part = ctx.read_column_group_batch(page, layout, slots, names)
+                for name in names:
+                    columns[name].extend(part[name])
+            if predicate is not None:
+                if conjuncts is not None:
+                    mask = conjuncts.evaluate_batch(ctx, predicate, columns,
+                                                    count)
+                else:
+                    mask = predicate.evaluate_batch(columns, count)
+                    ctx.visit_batch("predicate", count)
+                selected = [position for position in range(count)
+                            if mask[position]]
+                out_columns = {name: [vector[i] for i in selected]
+                               for name, vector in columns.items()}
+            else:
+                selected = None
+                out_columns = columns
+            out_count = count if selected is None else len(selected)
+            if self.extra_columns and out_count:
+                positions = selected if selected is not None else range(count)
+                extra: Dict[str, List] = {name: [] for name in self.extra_columns}
+                cursor = 0
+                offset = 0
+                positions = list(positions)
+                for page, slots in pending:
+                    upper = offset + len(slots)
+                    segment_slots = []
+                    while cursor < len(positions) and positions[cursor] < upper:
+                        segment_slots.append(slots[positions[cursor] - offset])
+                        cursor += 1
+                    if segment_slots:
+                        part = ctx.read_column_group_batch(
+                            page, layout, segment_slots, self.extra_columns)
+                        for name in self.extra_columns:
+                            extra[name].extend(part[name])
+                    offset = upper
+                out_columns.update(extra)
+            ctx.row_produced(out_count)
+            if self.count_records:
+                ctx.record_done(count)
+            if before is not None:
+                collector.observe_pressure(pressure_key, rung, count,
+                                           ctx.l1d_misses() - before)
+                size = max(int(policy.batch_size(pressure_key, rung,
+                                                 collector)), 1)
+            pending = []
+            pending_rows = 0
+            return ColumnBatch(out_columns, out_count)
+
+        if self.page_range is not None:
+            pages = table.heap.scan_pages(*self.page_range)
+        else:
+            pages = table.heap.scan_pages()
+        for page, slots in pages:
+            ctx.visit("page_boundary")
+            start = 0
+            total = len(slots)
+            while start < total:
+                take = min(size - pending_rows, total - start)
+                if take > 0:
+                    pending.append((page, slots[start:start + take]))
+                    pending_rows += take
+                    start += take
+                if pending_rows >= size:
+                    batch = flush()
+                    if batch is not None:
+                        yield batch
+        batch = flush()
+        if batch is not None:
+            yield batch
 
 
 class VecFilterOperator(VectorOperator):
@@ -431,7 +548,17 @@ class VecHashJoinOperator(VectorOperator):
     """Columnar hash join: the build side is concatenated into one columnar
     block whose hash table maps key -> row positions; each probe batch turns
     into a pair of gather lists, so the joined batch is assembled column by
-    column with the tuple engine's probe-major output order."""
+    column with the tuple engine's probe-major output order.
+
+    When the context's adaptive manager enables runtime join-side selection
+    (``adaptive_joins``), the operator consults the policy's
+    :meth:`~repro.adaptive.policy.AdaptivePolicy.flip_join` between
+    build-side batches and may abandon the planner's side choice mid-build:
+    the probe input becomes the hash-table side and the (larger) build input
+    is streamed through it.  The flip recombines matched pairs into exactly
+    the static plan's output -- same rows, same probe-major order, same
+    dict-merge column order (see :meth:`_adaptive_batches`).
+    """
 
     ENTRY_BYTES = HashJoinOperator.ENTRY_BYTES
 
@@ -441,15 +568,37 @@ class VecHashJoinOperator(VectorOperator):
                  probe_column: str,
                  build_column: str,
                  ctx: ExecutionContext,
-                 build_row_estimate: int = 1024) -> None:
+                 build_row_estimate: int = 1024,
+                 probe_row_estimate: int = 1024,
+                 build_key: Optional[str] = None,
+                 probe_key: Optional[str] = None,
+                 batch_size: int = 256) -> None:
         self.probe = probe
         self.build = build
         self.probe_column = probe_column.split(".")[-1]
         self.build_column = build_column.split(".")[-1]
         self.ctx = ctx
         self.build_row_estimate = max(build_row_estimate, 16)
+        #: The planner's guess of the probe input's cardinality -- the
+        #: expectation a contradicting build-side observation is weighed
+        #: against (and the flipped hash area's sizing).
+        self.probe_row_estimate = max(probe_row_estimate, 16)
+        #: Stable cardinality-statistics keys of the two inputs (source
+        #: table names when known), shared across executions and waves.
+        self.build_key = build_key or f"card:build.{self.build_column}"
+        self.probe_key = probe_key or f"card:probe.{self.probe_column}"
+        self.batch_size = max(batch_size, 1)
 
     def batches(self) -> Iterator[ColumnBatch]:
+        adaptive = getattr(self.ctx, "adaptive", None)
+        if adaptive is not None and not adaptive.join_sides:
+            adaptive = None
+        if adaptive is None:
+            yield from self._static_batches()
+        else:
+            yield from self._adaptive_batches(adaptive)
+
+    def _static_batches(self) -> Iterator[ColumnBatch]:
         ctx = self.ctx
         hash_area = ctx.allocate_workspace(self.build_row_estimate * self.ENTRY_BYTES)
         buckets = self.build_row_estimate
@@ -492,6 +641,153 @@ class VecHashJoinOperator(VectorOperator):
             ctx.visit_batch("join_output", len(build_positions))
             ctx.row_produced(len(build_positions))
             yield merge_gather(build_block, build_positions, batch, probe_positions)
+
+    def _adaptive_batches(self, manager) -> Iterator[ColumnBatch]:
+        """Join-side-adaptive execution: ingest, observe, possibly flip.
+
+        The unflipped branch charges exactly like :meth:`_static_batches`
+        (plus free collector observations), so ``adaptivity="static"`` with
+        ``adaptive_joins=True`` is the cycle-identical control arm.  The
+        flipped branch recombines the static output exactly: the static
+        join emits pairs ordered lexicographically by (global probe
+        position, build insertion position) -- probe batches stream in
+        order, and each probe row's matches come back in build insertion
+        order -- so collecting every (probe position, build position) match
+        of the flipped orientation and sorting restores the static row
+        order, while ``merge_gather`` keeps the build block on the left for
+        the static dict-merge column order.
+        """
+        from itertools import chain
+
+        ctx = self.ctx
+        policy = manager.policy
+        collector = manager.collector
+        hash_area = ctx.allocate_workspace(self.build_row_estimate * self.ENTRY_BYTES)
+        buckets = self.build_row_estimate
+        entry_bytes = self.ENTRY_BYTES
+
+        build_columns: Dict[str, List] = {}
+        build_count = 0
+        hash_table: Dict[object, List[int]] = {}
+        flipped = False
+        pending: Optional[ColumnBatch] = None
+        build_iter = self.build.batches()
+        for batch in build_iter:
+            if not len(batch):
+                continue
+            if policy.flip_join(self.build_key, self.probe_key,
+                                self.probe_row_estimate, build_count,
+                                collector):
+                flipped = True
+                pending = batch
+                break
+            ctx.visit_batch("hash_build", len(batch))
+            if not build_columns:
+                build_columns = {name: list(vector)
+                                 for name, vector in batch.columns.items()}
+            else:
+                for name, vector in batch.columns.items():
+                    build_columns[name].extend(vector)
+            for key in batch.vector(self.build_column):
+                bucket_address = hash_area + (hash(key) % buckets) * entry_bytes
+                ctx.write_address(bucket_address, entry_bytes)
+                hash_table.setdefault(key, []).append(build_count)
+                build_count += 1
+
+        if not flipped:
+            collector.observe_cardinality(self.build_key, build_count)
+            build_block = ColumnBatch(build_columns, build_count)
+            probe_rows = 0
+            for batch in self.probe.batches():
+                if not len(batch):
+                    continue
+                probe_rows += len(batch)
+                ctx.visit_batch("hash_probe", len(batch))
+                build_positions: List[int] = []
+                probe_positions: List[int] = []
+                for position, key in enumerate(batch.vector(self.probe_column)):
+                    bucket_address = hash_area + (hash(key) % buckets) * entry_bytes
+                    ctx.read_address(bucket_address, entry_bytes)
+                    matches = hash_table.get(key)
+                    if not matches:
+                        continue
+                    build_positions.extend(matches)
+                    probe_positions.extend([position] * len(matches))
+                ctx.visit_batch("join_output", len(build_positions))
+                ctx.row_produced(len(build_positions))
+                yield merge_gather(build_block, build_positions, batch,
+                                   probe_positions)
+            collector.observe_cardinality(self.probe_key, probe_rows)
+            return
+
+        # -- flipped: the probe input becomes the hash-table side ----------
+        flip_buckets = self.probe_row_estimate
+        flip_area = ctx.allocate_workspace(flip_buckets * entry_bytes)
+        probe_columns: Dict[str, List] = {}
+        probe_count = 0
+        flip_table: Dict[object, List[int]] = {}
+        for batch in self.probe.batches():
+            if not len(batch):
+                continue
+            ctx.visit_batch("hash_build", len(batch))
+            if not probe_columns:
+                probe_columns = {name: list(vector)
+                                 for name, vector in batch.columns.items()}
+            else:
+                for name, vector in batch.columns.items():
+                    probe_columns[name].extend(vector)
+            for key in batch.vector(self.probe_column):
+                bucket_address = flip_area + (hash(key) % flip_buckets) * entry_bytes
+                ctx.write_address(bucket_address, entry_bytes)
+                flip_table.setdefault(key, []).append(probe_count)
+                probe_count += 1
+        collector.observe_cardinality(self.probe_key, probe_count)
+        probe_block = ColumnBatch(probe_columns, probe_count)
+
+        pairs: List[Tuple[int, int]] = []
+
+        def stream_lookups(keys: Sequence, base: int) -> None:
+            ctx.visit_batch("hash_probe", len(keys))
+            for offset, key in enumerate(keys):
+                bucket_address = flip_area + (hash(key) % flip_buckets) * entry_bytes
+                ctx.read_address(bucket_address, entry_bytes)
+                matches = flip_table.get(key)
+                if matches:
+                    build_position = base + offset
+                    pairs.extend((probe_position, build_position)
+                                 for probe_position in matches)
+
+        # Build rows ingested before the flip were wasted hash-build work --
+        # the honest cost of a late flip; they stay in the block and are
+        # streamed through the flipped table first, in insertion order.
+        if build_count:
+            stream_lookups(
+                ColumnBatch(build_columns, build_count).vector(self.build_column), 0)
+        for batch in chain((pending,), build_iter):
+            if batch is None or not len(batch):
+                continue
+            base = build_count
+            if not build_columns:
+                build_columns = {name: list(vector)
+                                 for name, vector in batch.columns.items()}
+            else:
+                for name, vector in batch.columns.items():
+                    build_columns[name].extend(vector)
+            build_count += len(batch)
+            stream_lookups(batch.vector(self.build_column), base)
+        collector.observe_cardinality(self.build_key, build_count)
+        build_block = ColumnBatch(build_columns, build_count)
+
+        # Recombination: sorting the matched pairs restores the static
+        # probe-major row order exactly (see the method docstring).
+        pairs.sort()
+        for chunk in _chunked(pairs, self.batch_size):
+            probe_positions = [pair[0] for pair in chunk]
+            build_positions = [pair[1] for pair in chunk]
+            ctx.visit_batch("join_output", len(chunk))
+            ctx.row_produced(len(chunk))
+            yield merge_gather(build_block, build_positions, probe_block,
+                               probe_positions)
 
 
 class VecNestedLoopJoinOperator(VectorOperator):
@@ -703,9 +999,17 @@ def build_vectorized_join(plan: JoinPlan, catalog: Catalog, ctx: ExecutionContex
         build = build_vectorized_scan(plan.build, catalog, ctx, build_columns,
                                       batch_size=batch_size)
         build_table_name = getattr(plan.build, "table", None)
+        probe_table_name = getattr(plan.probe, "table", None)
         estimate = catalog.table(build_table_name).row_count if build_table_name else 1024
-        return VecHashJoinOperator(probe, build, plan.probe_column, plan.build_column,
-                                   ctx, build_row_estimate=max(estimate, 16))
+        probe_estimate = (catalog.table(probe_table_name).row_count
+                          if probe_table_name else 1024)
+        return VecHashJoinOperator(
+            probe, build, plan.probe_column, plan.build_column, ctx,
+            build_row_estimate=max(estimate, 16),
+            probe_row_estimate=max(probe_estimate, 16),
+            build_key=f"card:{build_table_name or plan.build_column}",
+            probe_key=f"card:{probe_table_name or plan.probe_column}",
+            batch_size=batch_size)
     if isinstance(plan, NestedLoopJoinPlan):
         outer_columns = list(output_columns) + [plan.outer_column]
         inner_columns = list(output_columns) + [plan.inner_column]

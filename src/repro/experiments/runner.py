@@ -328,26 +328,39 @@ class ExperimentRunner:
     def grid_session(self, engine: str, layout: str,
                      system_key: str = "B",
                      adaptivity: str = "off",
-                     parallelism: Optional[int] = None) -> Session:
+                     parallelism: Optional[int] = None,
+                     adaptive_joins: bool = False,
+                     adaptive_batching: bool = False,
+                     batch_size: Optional[int] = None) -> Session:
         """A measurement session against the cached grid build.
 
         The address space is rolled back to the post-build checkpoint
         first, so the session's transient allocations (code layout,
         workspace) land at the same addresses as against a fresh build --
         simulated counts cannot depend on how many cells ran before.
-        ``adaptivity`` threads the micro-adaptive conjunct-reordering mode
-        through to the session (used by the adaptivity experiment cells);
-        ``parallelism`` overrides the config knob per session (the bench
-        pins adaptive cells to serial, where their cycles are deterministic).
+        ``adaptivity`` threads the runtime-adaptation mode through to the
+        session (used by the adaptivity experiment cells), with
+        ``adaptive_joins`` / ``adaptive_batching`` enabling the
+        per-decision switches and ``batch_size`` pinning the configured
+        vector size (the batch-size cells deliberately start from a wrong
+        one); ``parallelism`` overrides the config knob per session (the
+        bench pins adaptive cells to serial, where their cycles are
+        deterministic).
         """
         database, checkpoint = self.grid_database(layout)
         database.address_space.restore(checkpoint)
         if parallelism is None:
             parallelism = self.config.parallelism
+        kwargs = {}
+        if batch_size is not None:
+            kwargs["batch_size"] = batch_size
         return Session(database, system_by_key(system_key), spec=self.config.spec,
                        os_interference=self.config.os_config(), engine=engine,
                        parallelism=parallelism,
-                       adaptivity=adaptivity)
+                       adaptivity=adaptivity,
+                       adaptive_joins=adaptive_joins,
+                       adaptive_batching=adaptive_batching,
+                       **kwargs)
 
     def grid_cell(self, engine: str, layout: str, kind: str,
                   system_key: str = "B") -> QueryResult:
@@ -401,6 +414,55 @@ class ExperimentRunner:
         """Measure the full layout x adaptivity-mode grid of the experiment."""
         return {(layout, mode): self.adaptive_cell(layout, mode, system_key)
                 for layout in layouts for mode in modes}
+
+    def adaptive_join_cell(self, layout: str, adaptivity: str,
+                           system_key: str = "B") -> QueryResult:
+        """Measure the skewed (planner-wrong) join under one adaptivity mode.
+
+        The skewed join pins the hash build side to R, the 30x larger
+        relation (a stale-statistics misestimate); ``adaptive_joins`` is
+        enabled for every non-``off`` mode, so ``static`` is the
+        cycle-identical control arm (the policy never flips) and ``greedy``
+        flips to build on S.  Measured with ``warmup_runs=1``: the warm-up
+        execution populates the collector's cardinality observations --
+        the paper's warm-unit discipline, and the regime where join-side
+        selection flips *before* any build work is wasted.
+        """
+        key = (layout, adaptivity, system_key.upper(), "join")
+        cached = self._adaptive_results.get(key)
+        if cached is not None:
+            return cached
+        query = self.micro_workload.skewed_join()
+        with self.grid_session("vectorized", layout, system_key,
+                               adaptivity=adaptivity,
+                               adaptive_joins=(adaptivity != "off")) as session:
+            result = session.execute(query, warmup_runs=1)
+        self._adaptive_results[key] = result
+        return result
+
+    def adaptive_batch_cell(self, layout: str, adaptivity: str,
+                            system_key: str = "B",
+                            batch_size: int = 32) -> QueryResult:
+        """Measure the 50% selection with a deliberately wrong vector size.
+
+        ``adaptive_batching`` is enabled for every non-``off`` mode:
+        ``static`` runs the same cross-page scan structure at the fixed
+        (wrong) size -- the control arm -- while ``greedy`` walks the
+        bounded ladder from observed L1D pressure and settles on the
+        largest rung whose misses-per-row still fits.
+        """
+        key = (layout, adaptivity, system_key.upper(), "batch")
+        cached = self._adaptive_results.get(key)
+        if cached is not None:
+            return cached
+        query = self.micro_workload.sequential_range_selection(0.5)
+        with self.grid_session("vectorized", layout, system_key,
+                               adaptivity=adaptivity,
+                               adaptive_batching=(adaptivity != "off"),
+                               batch_size=batch_size) as session:
+            result = session.execute(query, warmup_runs=0)
+        self._adaptive_results[key] = result
+        return result
 
     def micro_grid(self,
                    engines: Sequence[str] = ("tuple", "vectorized"),

@@ -197,15 +197,22 @@ class Planner:
                                           outer_column=query.left_column,
                                           inner_column=query.right_column)
         else:
-            # Hash join: build on the smaller input, probe with the larger.
-            if right.row_count <= left.row_count:
-                join = HashJoinPlan(probe=left_scan, build=right_scan,
-                                    probe_column=query.left_column,
-                                    build_column=query.right_column)
+            # Hash join: build on the smaller input, probe with the larger --
+            # unless the query pins a build side (``build_side`` models a
+            # stale-statistics misestimate; the runtime join-side decision
+            # exists to correct exactly this kind of planner-frozen choice).
+            if query.build_side is not None:
+                build_left = query.build_side == "left"
             else:
+                build_left = left.row_count < right.row_count
+            if build_left:
                 join = HashJoinPlan(probe=right_scan, build=left_scan,
                                     probe_column=query.right_column,
                                     build_column=query.left_column)
+            else:
+                join = HashJoinPlan(probe=left_scan, build=right_scan,
+                                    probe_column=query.left_column,
+                                    build_column=query.right_column)
         return AggregatePlan(input=join, aggregates=query.aggregates)
 
     # -------------------------------------------------------------- updates

@@ -94,8 +94,22 @@ class ExecutionConfig:
     #: Pages per morsel for the exchange operator (``None`` = derived from
     #: the table size and worker count).
     morsel_pages: Optional[int] = None
-    #: Runtime conjunct-reordering mode (see :data:`ADAPTIVITY_MODES`).
+    #: Runtime-adaptation mode (see :data:`ADAPTIVITY_MODES`).  Selects the
+    #: decision policy; conjunct reordering is active whenever the mode is
+    #: not ``off``, the two decisions below opt in separately.
     adaptivity: str = ADAPTIVITY_OFF
+    #: Runtime join-side selection: the vectorized hash join may flip its
+    #: build/probe sides between batches when observed cardinalities
+    #: contradict the planner's choice (requires ``adaptivity != "off"``;
+    #: the policy decides -- ``static`` never flips, so it is the control
+    #: arm).  Result rows and column order are identical either way.
+    adaptive_joins: bool = False
+    #: Runtime batch-size adaptation: vectorized sequential scans accumulate
+    #: vectors across page boundaries and resize them within the bounded
+    #: ladder from observed L1D miss pressure (requires
+    #: ``adaptivity != "off"``; ``static`` keeps the configured size, so it
+    #: is the control arm for the same scan structure).
+    adaptive_batching: bool = False
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:
@@ -118,6 +132,13 @@ class ExecutionConfig:
                 f"{ENGINE_VECTORIZED!r}: only the vectorized filters evaluate "
                 f"conjuncts batch-at-a-time (the tuple engine would silently "
                 f"ignore the setting)")
+        if ((self.adaptive_joins or self.adaptive_batching)
+                and self.adaptivity == ADAPTIVITY_OFF):
+            raise ValueError(
+                "adaptive_joins / adaptive_batching require adaptivity != "
+                f"{ADAPTIVITY_OFF!r}: the decisions are made by the adaptivity "
+                "policy (use adaptivity='static' for the never-adapt control "
+                "arm rather than 'off', which bypasses the subsystem entirely)")
 
     @property
     def is_vectorized(self) -> bool:
@@ -163,7 +184,15 @@ class SelectionQuery:
 
 @dataclass(frozen=True)
 class JoinQuery:
-    """``SELECT <aggregates> FROM <left>, <right> WHERE left.col = right.col``."""
+    """``SELECT <aggregates> FROM <left>, <right> WHERE left.col = right.col``.
+
+    ``build_side`` (``"left"``/``"right"``/``None``) pins the hash join's
+    build input instead of letting the planner pick the smaller relation.
+    It models a planner *misestimate* (stale statistics believing the pinned
+    side small) -- the knob the skewed-join adaptivity workload uses to
+    construct a planner-wrong plan that runtime join-side selection must
+    correct.  ``None`` keeps the planner's size heuristic.
+    """
 
     left_table: str
     right_table: str
@@ -171,11 +200,15 @@ class JoinQuery:
     right_column: str
     aggregates: Tuple[Aggregate, ...]
     predicate: Optional[Expression] = None
+    build_side: Optional[str] = None
     label: str = ""
 
     def __post_init__(self) -> None:
         if not self.aggregates:
             raise ValueError("JoinQuery requires at least one aggregate")
+        if self.build_side not in (None, "left", "right"):
+            raise ValueError(f"build_side must be 'left', 'right' or None, "
+                             f"not {self.build_side!r}")
 
 
 @dataclass(frozen=True)

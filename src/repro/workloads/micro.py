@@ -251,6 +251,31 @@ class MicroWorkload:
             label="SJ",
         )
 
+    def skewed_join(self) -> JoinQuery:
+        """The adaptive-join microworkload: the planner builds on the wrong side.
+
+        The same equijoin as :meth:`sequential_join`, but with the hash
+        join's build side pinned to ``R`` -- the 30x *larger* relation --
+        modelling a planner whose stale statistics believed R small.  The
+        static plan therefore hashes all of R (a hash area ~30x the L1
+        D-cache at default scale, every bucket write a likely miss) and
+        probes with the few S rows; runtime join-side selection observes R's
+        cardinality streaming past the probe-side expectation within a few
+        batches and flips, hashing the small S instead and streaming R
+        through an L1D-resident table.  Result rows (and their order) are
+        identical either way -- only the charged work differs, which is the
+        cycle delta the ``AJS`` benchmark cells record.
+        """
+        return JoinQuery(
+            left_table=self.R_TABLE,
+            right_table=self.S_TABLE,
+            left_column="a2",
+            right_column="a1",
+            aggregates=(avg("R.a3"),),
+            build_side="left",
+            label="AJS",
+        )
+
     def _selectivity_label(self, selectivity: Optional[float]) -> str:
         value = self.config.selectivity if selectivity is None else selectivity
         return f"{value:.0%}"

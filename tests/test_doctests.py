@@ -1,0 +1,30 @@
+"""Doctest pass over the :mod:`repro.adaptive` public API.
+
+The runnable ``>>>`` examples in the adaptive subsystem's docstrings double
+as its smallest integration tests -- the quickstart snippets README.md and
+the API docs quote must actually execute.  Collected here so they run in
+tier-1 (and in the CI ``docs`` job) without enabling ``--doctest-modules``
+repo-wide.
+"""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro.adaptive
+import repro.adaptive.manager
+import repro.adaptive.policy
+import repro.adaptive.stats
+
+MODULES = (repro.adaptive, repro.adaptive.stats, repro.adaptive.policy,
+           repro.adaptive.manager)
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_adaptive_doctests_pass(module):
+    failures, tested = doctest.testmod(module, verbose=False)
+    assert failures == 0
+    if module is not repro.adaptive:  # the package docstring has no examples
+        assert tested > 0, f"{module.__name__} lost its runnable examples"
