@@ -1,0 +1,67 @@
+"""The memory-budgeted hash join: one query, shrinking working memory.
+
+The microbenchmark's equijoin (``select avg(R.a3) from R, S where
+R.a2 = S.a1``) builds its hash table on S.  ``memory_budget_bytes`` caps
+the vectorized join's working memory: when the build side no longer fits,
+the join hash-partitions both inputs (grace/hybrid), keeps as many
+partitions resident as the budget allows, and streams the rest through a
+budget-sized buffer pool whose evictions and reloads are charged to the
+simulated processor as page transfers -- the I/O traffic the paper's
+configurations were deliberately sized to avoid.
+
+The sweep below runs the identical query under budgets of infinity, then
+2x / 1x / 0.5x / 0.1x the build side's byte footprint.  Two things to
+watch:
+
+* the *rows never change* -- the spilling join is row-, order- and
+  column-identical to the in-memory join at every budget (asserted here
+  and, adversarially, in ``tests/test_spill_join.py``);
+* the charged page reads/writes appear once the budget really binds, and
+  the simulated cycles grow with the spill traffic.
+
+Run with::
+
+    PYTHONPATH=src python examples/spill_join.py
+"""
+
+from repro.engine import Session
+from repro.systems import SYSTEM_B
+from repro.workloads.micro import MicroWorkload
+
+
+def main() -> None:
+    workload = MicroWorkload()  # default scale: R = 6,000 rows, S = 200
+    query = workload.over_budget_join()
+    build_bytes = workload.config.s_bytes
+    print(f"build side: {workload.config.s_rows} rows x "
+          f"{workload.config.record_size} bytes = {build_bytes:,} bytes\n")
+
+    budgets = [("inf", None),
+               ("2.0x", 2 * build_bytes),
+               ("1.0x", build_bytes),
+               ("0.5x", build_bytes // 2),
+               ("0.1x", build_bytes // 10)]
+
+    reference_rows = None
+    print(f"{'budget':>8} {'bytes':>10} {'cycles':>12} "
+          f"{'page reads':>11} {'page writes':>12}")
+    for label, budget in budgets:
+        database = workload.build()
+        session = Session(database, SYSTEM_B, os_interference=None,
+                          engine="vectorized", memory_budget_bytes=budget)
+        result = session.execute(query)
+        io = session.context.io_stats
+        print(f"{label:>8} {budget if budget is not None else '-':>10} "
+              f"{result.counters.get('CPU_CLK_UNHALTED'):>12,} "
+              f"{io['page_reads']:>11,} {io['page_writes']:>12,}")
+        if reference_rows is None:
+            reference_rows = result.rows
+        else:
+            assert result.rows == reference_rows, "spilling changed the result!"
+        session.close()
+
+    print("\nevery budget produced identical rows:", reference_rows)
+
+
+if __name__ == "__main__":
+    main()

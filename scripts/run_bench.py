@@ -8,7 +8,11 @@ decision measured off/static/greedy on both layouts, recording greedy's
 reduction over the planner-frozen static execution: ``ACS`` (skewed
 3-conjunct selection, runtime conjunct reordering), ``AJS`` (skewed
 planner-wrong join, runtime join-side selection) and ``ABS`` (50% selection
-with a too-small configured vector, runtime batch sizing) -- and emits a
+with a too-small configured vector, runtime batch sizing) -- plus the
+memory-budget sweep ``SJB-inf/2x/1x/0.5x`` (the sequential join under a
+``memory_budget_bytes`` of infinity / 2x / 1x / 0.5x the build side's
+footprint, exercising the grace/hybrid spilling path; the ``inf`` cells
+are gated cycle-identical to the plain ``SJ`` cells) -- and emits a
 ``BENCH_<stamp>.json`` into ``benchmarks/results/`` (gitignored; override
 with ``--out-dir``) recording, per configuration:
 
@@ -61,6 +65,15 @@ ENGINES = ("tuple", "vectorized")
 LAYOUTS = ("nsm", "pax")
 QUERY_KINDS = ("SRS", "IRS", "SJ")
 
+#: Memory-budget sweep of the sequential join (vectorized engine only):
+#: the same ``SJ`` join measured under ``memory_budget_bytes`` set to
+#: infinity (``None`` -- the structural bypass, gated cycle-identical to
+#: the plain ``SJ`` cell), then 2x / 1x / 0.5x of the build side's byte
+#: footprint (``MicroWorkloadConfig.s_bytes``).  Finite budgets exercise
+#: the grace/hybrid spilling join through the buffer pool's backing
+#: store; each cell records the budget and the charged page I/O.
+BUDGET_KINDS = ("SJB-inf", "SJB-2x", "SJB-1x", "SJB-0.5x")
+
 #: Adaptivity modes measured on the adaptive cells: ``off`` anchors the
 #: bit-identity contract of the legacy path, ``static`` runs the adaptive
 #: machinery with the planner's decisions (the control arm), ``greedy``
@@ -107,7 +120,21 @@ def query_for(workload, kind: str):
         return workload.skewed_join()
     if kind == "ABS":
         return workload.sequential_range_selection(0.5)
+    if kind.startswith("SJB"):
+        return workload.over_budget_join()
     return workload.sequential_join()
+
+
+def budget_for(kind: str, s_bytes: int) -> Optional[int]:
+    """Map an ``SJB-*`` kind to ``memory_budget_bytes`` (None = no budget)."""
+    suffix = kind.split("-", 1)[1]
+    if suffix == "inf":
+        return None
+    if suffix == "2x":
+        return 2 * s_bytes
+    if suffix == "1x":
+        return s_bytes
+    return max(s_bytes // 2, 1)
 
 
 def measure_cell(runner: ExperimentRunner, engine: str, layout: str, kind: str,
@@ -129,16 +156,23 @@ def measure_cell(runner: ExperimentRunner, engine: str, layout: str, kind: str,
                                                        False),
         "batch_size": knobs.get("batch_size"),
     }
+    budget = None
+    if kind.startswith("SJB"):
+        budget = budget_for(kind, runner.config.micro.s_bytes)
+        session_kwargs["memory_budget_bytes"] = budget
     warmup_runs = knobs.get("warmup_runs", 0)
     best = None
     cycles = None
     rows = None
     counters = None
+    io_stats = None
     # Adaptive greedy/epsilon decisions depend on the morsel partitioning
     # (only adaptivity="off" promises bit-identity to serial -- DESIGN.md),
     # so the adaptive cells are pinned to a serial session to keep their
-    # cycles deterministic under --parallelism.
-    parallelism = 1 if adaptivity != "off" else None
+    # cycles deterministic under --parallelism.  The budget cells pin too:
+    # the spilling join's page-I/O schedule depends on ingest order, and a
+    # serial session keeps the charged cycles deterministic.
+    parallelism = 1 if (adaptivity != "off" or kind.startswith("SJB")) else None
     for _ in range(max(repeat, 1)):
         with runner.grid_session(engine, layout, adaptivity=adaptivity,
                                  parallelism=parallelism,
@@ -146,6 +180,7 @@ def measure_cell(runner: ExperimentRunner, engine: str, layout: str, kind: str,
             start = time.perf_counter()
             result = session.execute(query, warmup_runs=warmup_runs)
             elapsed = time.perf_counter() - start
+            run_io = dict(session.context.io_stats)
         if best is None or elapsed < best:
             best = elapsed
         run_cycles = result.counters.get("CPU_CLK_UNHALTED")
@@ -157,12 +192,17 @@ def measure_cell(runner: ExperimentRunner, engine: str, layout: str, kind: str,
         cycles = run_cycles
         rows = result.rows
         counters = result.counters
-    return {"engine": engine, "layout": layout, "query": kind,
-            "adaptivity": adaptivity,
-            "wall_seconds": round(best, 6), "cycles": cycles,
-            "branch_mispredictions": counters.get("BR_MISS_PRED_RETIRED"),
-            "result_rows": rows,
-            "_counters": counters}
+        io_stats = run_io
+    point = {"engine": engine, "layout": layout, "query": kind,
+             "adaptivity": adaptivity,
+             "wall_seconds": round(best, 6), "cycles": cycles,
+             "branch_mispredictions": counters.get("BR_MISS_PRED_RETIRED"),
+             "result_rows": rows,
+             "_counters": counters}
+    if kind.startswith("SJB"):
+        point["memory_budget_bytes"] = budget
+        point["io_stats"] = io_stats
+    return point
 
 
 #: Runner inherited by forked grid workers.
@@ -179,12 +219,15 @@ def _measure_cell_task(cell: Tuple[str, str, str, str]) -> dict:
 
 
 def grid_cells() -> List[Tuple[str, str, str, str]]:
-    """The 12 engine x layout x query cells plus the adaptivity cells."""
+    """The 12 engine x layout x query cells plus the adaptivity and
+    memory-budget sweep cells."""
     cells = [(engine, layout, kind, "off") for engine in ENGINES
              for layout in LAYOUTS for kind in QUERY_KINDS]
     cells.extend(("vectorized", layout, kind, mode)
                  for kind in ADAPTIVE_KINDS
                  for layout in LAYOUTS for mode in ADAPTIVE_MODES)
+    cells.extend(("vectorized", layout, kind, "off")
+                 for layout in LAYOUTS for kind in BUDGET_KINDS)
     return cells
 
 
@@ -273,6 +316,36 @@ def adaptivity_summary(points: List[dict]) -> Dict[str, dict]:
                     1.0 - greedy["cycles"] / max(static["cycles"], 1), 4),
             }
     return summary
+
+
+def budget_identity_violations(points: List[dict]) -> List[str]:
+    """The no-budget spill knob must be a structural no-op.
+
+    ``memory_budget_bytes=None`` leaves the vectorized join on the exact
+    pre-existing code path, so each ``SJB-inf`` cell must report the same
+    simulated cycles and row count as the plain ``SJ`` cell measured in
+    the same grid.  Because the ``SJ`` cells are themselves gated
+    cycle-identical against the committed baseline, this transitively
+    pins the budget=infinity execution to the pre-spilling releases.
+    Finite budgets are *expected* to differ (they pay charged page I/O)
+    and are gated only against their own baselines by ``--compare-to``.
+    """
+    by_key = {_cell_key(p): p for p in points}
+    violations: List[str] = []
+    for layout in LAYOUTS:
+        inf = by_key.get(("vectorized", layout, "SJB-inf", "off"))
+        plain = by_key.get(("vectorized", layout, "SJ", "off"))
+        if inf is None or plain is None:
+            continue
+        if inf["cycles"] != plain["cycles"]:
+            violations.append(
+                f"vectorized/{layout}/SJB-inf: cycles diverged from SJ "
+                f"({inf['cycles']:,} vs {plain['cycles']:,}) -- the "
+                f"budget=None path is no longer a structural bypass")
+        if inf["result_rows"] != plain["result_rows"]:
+            violations.append(
+                f"vectorized/{layout}/SJB-inf: rows diverged from SJ")
+    return violations
 
 
 # ---------------------------------------------------------------------------
@@ -377,9 +450,15 @@ def main() -> int:
 
     points = run_grid(runner, args.repeat, args.grid_workers)
     for point in points:
-        print(f"{_cell_name(point):>26}: {point['wall_seconds']:.3f}s wall, "
-              f"{point['cycles']:,} simulated cycles, "
-              f"{point['branch_mispredictions']:,} mispredictions")
+        line = (f"{_cell_name(point):>26}: {point['wall_seconds']:.3f}s wall, "
+                f"{point['cycles']:,} simulated cycles, "
+                f"{point['branch_mispredictions']:,} mispredictions")
+        if "io_stats" in point:
+            budget = point["memory_budget_bytes"]
+            line += (f", budget={budget if budget is not None else 'inf'}, "
+                     f"{point['io_stats']['page_reads']} page reads, "
+                     f"{point['io_stats']['page_writes']} page writes")
+        print(line)
     grid_wall = time.perf_counter() - grid_start
 
     totals = merged_grid_counters(points)
@@ -421,6 +500,13 @@ def main() -> int:
               f"{summary['cycle_reduction']:.1%} fewer cycles")
 
     exit_code = 0
+    budget_violations = budget_identity_violations(configs)
+    report["budget_gate_violations"] = budget_violations
+    if budget_violations:
+        print("\nBUDGET IDENTITY GATE FAILED:")
+        for violation in budget_violations:
+            print(f"  - {violation}")
+        exit_code = 1
     if args.compare_to:
         with open(args.compare_to) as handle:
             baseline = json.load(handle)

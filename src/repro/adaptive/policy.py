@@ -14,7 +14,14 @@ without touching an operator.  The three decisions:
 * :meth:`AdaptivePolicy.batch_size` -- the next vector size of a scan,
   stepped through the bounded :data:`BATCH_SIZE_LADDER` from observed L1D
   miss pressure, consulted between batches (serial) or between morsel waves
-  (parallel).
+  (parallel);
+* :meth:`AdaptivePolicy.partition_count` -- how many spill partitions a
+  memory-budgeted hash join should fan its inputs into, consulted once
+  before build ingest.  The static arm sizes from the planner's cardinality
+  estimate; greedy substitutes the observed build cardinality when earlier
+  executions (or merged morsel waves) have measured it, which is the
+  standard cure for the underestimated-build spiral of grace joins
+  (arXiv:2112.02480).
 
 ``StaticPolicy`` answers every decision with the planner's choice, which
 makes it the control arm of every adaptivity experiment: static vs greedy
@@ -85,6 +92,36 @@ JOIN_FLIP_HYSTERESIS = 1.25
 #: amortises the per-batch routine invocation hardest).
 PRESSURE_SLACK = 0.15
 
+#: Headroom factor applied to the estimated build-side footprint when
+#: choosing a spill partition count: hash tables carry bucket/entry overhead
+#: beyond the raw record bytes, and partition skew means the largest
+#: partition exceeds the average.  Cf. the fudge factor of the classic
+#: grace/hybrid sizing rule.
+PARTITION_FUDGE = 1.2
+
+#: Upper bound on the spill fan-out.  Beyond this, per-partition output
+#: buffers thrash the budgeted pool harder than recursion costs; overflowing
+#: partitions are re-partitioned recursively instead.
+MAX_PARTITIONS = 64
+
+
+def plan_partition_count(build_rows: float, row_bytes: int,
+                         budget_bytes: Optional[int]) -> int:
+    """Spill partition count for an expected build side of ``build_rows``.
+
+    Returns 1 when the (fudged) footprint fits the budget -- the hybrid
+    join's optimistic fully-resident plan -- and otherwise the classic
+    ``ceil(footprint / budget)`` grace fan-out, clamped to
+    [2, :data:`MAX_PARTITIONS`].
+    """
+    if budget_bytes is None or budget_bytes <= 0:
+        return 1
+    footprint = max(float(build_rows), 0.0) * max(row_bytes, 1) * PARTITION_FUDGE
+    if footprint <= budget_bytes:
+        return 1
+    count = -(-int(footprint) // budget_bytes)  # ceiling division
+    return max(2, min(count, MAX_PARTITIONS))
+
 
 class AdaptivePolicy:
     """Interface: one method per runtime decision (order / flip / size).
@@ -123,6 +160,16 @@ class AdaptivePolicy:
         stats).  Default: keep the configured size.
         """
         return current
+
+    def partition_count(self, build_key: str, build_estimate: int,
+                        row_bytes: int, budget_bytes: Optional[int],
+                        stats: RuntimeStatsCollector) -> int:
+        """How many spill partitions the memory-budgeted hash join fans into.
+
+        Consulted once, before build ingest.  Default (and ``static``):
+        trust the planner's ``build_estimate``.
+        """
+        return plan_partition_count(build_estimate, row_bytes, budget_bytes)
 
     # ---------------------------------------------------- snapshot plumbing
     def state(self) -> Dict[str, int]:
@@ -189,6 +236,23 @@ def greedy_flip_join(build_key: str, probe_key: str, probe_estimate: int,
     expected_build = stats.cardinality(build_key) or 0.0
     evidence = max(float(seen_build_rows), expected_build)
     return evidence > JOIN_FLIP_HYSTERESIS * expected_probe
+
+
+def greedy_partition_count(build_key: str, build_estimate: int, row_bytes: int,
+                           budget_bytes: Optional[int],
+                           stats: RuntimeStatsCollector) -> int:
+    """Prefer the *observed* build cardinality over the planner's estimate.
+
+    Warm executions (and merged morsel waves) have measured the build
+    input's cardinality via ``stats.cardinality``; sizing the fan-out from
+    that observation avoids both the underestimated-build spiral (too few
+    partitions, every one overflows and recurses) and the overestimated
+    fan-out (too many partitions, output buffers thrash the budgeted pool).
+    Cold executions fall back to the estimate, exactly like ``static``.
+    """
+    observed = stats.cardinality(build_key)
+    evidence = observed if observed is not None else float(build_estimate)
+    return plan_partition_count(evidence, row_bytes, budget_bytes)
 
 
 def greedy_batch_size(key: str, current: int, stats: RuntimeStatsCollector,
@@ -260,6 +324,12 @@ class GreedyRankPolicy(AdaptivePolicy):
                    ladder: Sequence[int] = BATCH_SIZE_LADDER) -> int:
         return greedy_batch_size(key, current, stats, ladder)
 
+    def partition_count(self, build_key: str, build_estimate: int,
+                        row_bytes: int, budget_bytes: Optional[int],
+                        stats: RuntimeStatsCollector) -> int:
+        return greedy_partition_count(build_key, build_estimate, row_bytes,
+                                      budget_bytes, stats)
+
 
 class EpsilonGreedyPolicy(AdaptivePolicy):
     """Greedy ordering with an epsilon fraction of exploratory rotations."""
@@ -305,6 +375,14 @@ class EpsilonGreedyPolicy(AdaptivePolicy):
         # The ladder rule already explores every rung once (optimism about
         # unobserved neighbours), so epsilon matches greedy here too.
         return greedy_batch_size(key, current, stats, ladder)
+
+    def partition_count(self, build_key: str, build_estimate: int,
+                        row_bytes: int, budget_bytes: Optional[int],
+                        stats: RuntimeStatsCollector) -> int:
+        # One-shot sizing decision from direct observation; nothing for
+        # epsilon exploration to refresh.
+        return greedy_partition_count(build_key, build_estimate, row_bytes,
+                                      budget_bytes, stats)
 
     def state(self) -> Dict[str, int]:
         return {"decisions": self.decisions}

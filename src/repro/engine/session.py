@@ -84,7 +84,8 @@ class Session:
                  morsel_pages: Optional[int] = None,
                  adaptivity: str = ADAPTIVITY_OFF,
                  adaptive_joins: bool = False,
-                 adaptive_batching: bool = False) -> None:
+                 adaptive_batching: bool = False,
+                 memory_budget_bytes: Optional[int] = None) -> None:
         """``parallelism=N`` (N > 1) enables the morsel-parallel exchange
         for vectorized sequential scans: page morsels are produced by N
         workers (``parallel_backend="process"`` forks a pool inheriting the
@@ -105,6 +106,14 @@ class Session:
         sequential scans resize their vectors within the bounded ladder
         from observed L1D miss pressure.  Result rows are identical in
         every combination.
+
+        ``memory_budget_bytes`` caps the vectorized hash join's working
+        memory: a build side that does not fit is hash-partitioned into
+        spill partitions through a capacity-limited buffer pool
+        (grace/hybrid), whose page traffic is charged via the context's
+        I/O cost model.  ``None`` (default) keeps the fully memory-resident
+        join, bit-identical to previous releases; result rows, row order
+        and column order are identical at every budget.
         """
         self.database = database
         self.profile = profile
@@ -119,12 +128,14 @@ class Session:
                                                          morsel_pages=morsel_pages,
                                                          adaptivity=adaptivity,
                                                          adaptive_joins=adaptive_joins,
-                                                         adaptive_batching=adaptive_batching))
+                                                         adaptive_batching=adaptive_batching,
+                                                         memory_budget_bytes=memory_budget_bytes))
         self.code_layout = CodeLayout(profile, database.address_space)
         self.context = ExecutionContext(self.processor, profile,
                                         database.address_space,
                                         code_layout=self.code_layout,
                                         charge_mode=charge_mode)
+        self.context.memory_budget_bytes = memory_budget_bytes
         self.adaptive: Optional[AdaptiveExecution] = None
         if adaptivity != ADAPTIVITY_OFF:
             self.adaptive = AdaptiveExecution(adaptivity,

@@ -132,6 +132,18 @@ class ExecutionContext:
         #: ``None`` (the default) leaves every code path bit-identical to
         #: previous releases.
         self.adaptive = None
+
+        #: Join working-memory budget in bytes (``None`` = unlimited), set by
+        #: the session from ``ExecutionConfig.memory_budget_bytes``.  When
+        #: set, the vectorized hash join runs its grace/hybrid spilling path
+        #: and charges page traffic through :meth:`page_io_out` /
+        #: :meth:`page_io_in`; ``None`` leaves every code path bit-identical
+        #: to previous releases.
+        self.memory_budget_bytes: Optional[int] = None
+        #: Cumulative simulated page-transfer counters (all spill pools).
+        self.io_stats: Dict[str, int] = {"page_reads": 0, "page_writes": 0,
+                                         "bytes_read": 0, "bytes_written": 0}
+
         # Lazily allocated instruction block holding the synthetic branch
         # sites of adaptive conjunct evaluations (never allocated on the
         # ``off`` path, so legacy address layouts are untouched).
@@ -447,6 +459,38 @@ class ExecutionContext:
     def write_address(self, address: int, size: int = 4) -> None:
         """Simulated store to an arbitrary structure."""
         self.processor.data_write(address, size)
+
+    # ------------------------------------------------------------- page I/O
+    # The buffer pool's simulated backing store charges page transfers here
+    # (the ``io`` collaborator of :class:`~repro.storage.buffer_pool.
+    # BufferPool`).  A transfer runs the buffer-manager code path once (the
+    # same ``page_boundary`` segment a scan charges when it crosses into a
+    # new page) and then moves the page's cache lines to/from the ``disk``
+    # region address.  Span charging presents the read side as one strided
+    # bulk operation -- count-identical to the per-line loop ``per_address``
+    # still takes; the write side has no bulk primitive, so both modes loop.
+
+    def page_io_out(self, address: int, nbytes: int) -> None:
+        """Charge one page write-back to the backing store at ``address``."""
+        self.visit("page_boundary")
+        processor = self.processor
+        for offset in range(0, nbytes, LINE_BYTES):
+            processor.data_write(address + offset, LINE_BYTES)
+        self.io_stats["page_writes"] += 1
+        self.io_stats["bytes_written"] += nbytes
+
+    def page_io_in(self, address: int, nbytes: int) -> None:
+        """Charge one page reload from the backing store at ``address``."""
+        self.visit("page_boundary")
+        lines = (nbytes + LINE_BYTES - 1) // LINE_BYTES
+        if self._span_charging and lines > 1:
+            self.processor.data_read_strided(address, LINE_BYTES, lines, LINE_BYTES)
+        else:
+            processor = self.processor
+            for offset in range(0, nbytes, LINE_BYTES):
+                processor.data_read(address + offset, LINE_BYTES)
+        self.io_stats["page_reads"] += 1
+        self.io_stats["bytes_read"] += nbytes
 
     def read_fields(self, entry: ScanEntry, layout: RecordLayout,
                     columns: Sequence[str]) -> Dict[str, object]:

@@ -43,9 +43,14 @@ Design rules:
 
 from __future__ import annotations
 
+import pickle
+
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from ..adaptive.policy import plan_partition_count
 from ..index.btree import BTreeIndex
+from ..storage.buffer_pool import BufferPool
+from ..storage.page import DEFAULT_PAGE_SIZE
 from ..query.expressions import Aggregate, AggregateState, Expression
 from ..query.plans import (AggregatePlan, ExecutionConfig, HashJoinPlan,
                            IndexNestedLoopJoinPlan, IndexPointLookupPlan,
@@ -544,6 +549,101 @@ class VecIndexPointLookupOperator(VectorOperator):
         ctx.record_done()
 
 
+#: Recursion bound for re-partitioning an overflowing spill partition.  A
+#: partition still over budget at this depth is built in memory anyway --
+#: each level multiplies the fan-out, so hitting the bound means the input
+#: is pathologically skewed (every level hashed the same key together) and
+#: further partitioning cannot split it.
+_MAX_SPILL_DEPTH = 4
+
+
+def _spill_partition_of(key, level: int, count: int) -> int:
+    """Deterministic spill-partition assignment, salted by recursion level.
+
+    Runs ``hash(key)`` through a splitmix-style finalizer so the partition
+    choice is decorrelated both from the ``hash(key) % buckets`` bucket
+    choice (otherwise every resident partition would populate only a slice
+    of the shared bucket array) and across recursion levels (otherwise a
+    re-partitioned overflow would land every row in one sub-partition).
+    """
+    mixed = (hash(key) ^ ((level + 1) * 0x9E3779B97F4A7C15)) & 0xFFFFFFFFFFFFFFFF
+    mixed = ((mixed ^ (mixed >> 33)) * 0xFF51AFD7ED558CCD) & 0xFFFFFFFFFFFFFFFF
+    mixed ^= mixed >> 33
+    return mixed % count
+
+
+def _column_index(names: Sequence[str], column: str) -> int:
+    """Position of ``column`` in ``names`` (qualified or unqualified)."""
+    names = list(names)
+    if column in names:
+        return names.index(column)
+    short = column.split(".")[-1]
+    for position, name in enumerate(names):
+        if name.split(".")[-1] == short:
+            return position
+    raise OperatorError(f"columns {names} have no column {column!r}")
+
+
+class _SpillFile:
+    """Append-only run of pickled ``(position, values)`` records.
+
+    One spill partition side (build or probe) of the memory-budgeted hash
+    join.  Records flow through a capacity-limited :class:`BufferPool`, so
+    writing and reading them exercises the pool's real eviction/reload path
+    and every page transfer is charged through the context's I/O cost
+    model.  Each record is zero-padded to the source table's nominal record
+    size (``pickle.loads`` stops at the pickle's STOP opcode, so padding is
+    ignored on read-back): the spilled *bytes* match the row footprint the
+    budget reasons about, not the pickle encoding's whims.
+
+    Pages are pinned only for the duration of one append or one page read,
+    so at most one frame is pinned at any instant and the join works with a
+    pool as small as a single page (it just faults -- honestly -- on every
+    other access).
+    """
+
+    __slots__ = ("pool", "record_bytes", "page_numbers", "_current", "row_count")
+
+    def __init__(self, pool: BufferPool, record_bytes: int) -> None:
+        self.pool = pool
+        self.record_bytes = max(record_bytes, 1)
+        self.page_numbers: List[int] = []
+        self._current: Optional[int] = None
+        self.row_count = 0
+
+    def append(self, ctx: ExecutionContext, position: int, values: Tuple) -> None:
+        """Append one record, charging the slot store (and any page I/O)."""
+        payload = pickle.dumps((position, values), protocol=pickle.HIGHEST_PROTOCOL)
+        if len(payload) < self.record_bytes:
+            payload = payload.ljust(self.record_bytes, b"\0")
+        page = None
+        if self._current is not None:
+            page = self.pool.fetch_page(self._current, pin=True)
+            if not page.has_room_for(len(payload)):
+                self.pool.unpin(self._current)
+                page = None
+        if page is None:
+            page = self.pool.allocate_page(pin=True)
+            self.page_numbers.append(page.page_number)
+            self._current = page.page_number
+        slot = page.insert(payload)
+        ctx.write_address(page.slot_address(slot), len(payload))
+        self.pool.unpin(page.page_number)
+        self.row_count += 1
+
+    def read_all(self, ctx: ExecutionContext) -> List[Tuple[int, Tuple]]:
+        """Read back every record in append order, charging per record."""
+        records: List[Tuple[int, Tuple]] = []
+        for page_number in self.page_numbers:
+            page = self.pool.fetch_page(page_number, pin=True)
+            for slot in page.live_slots():
+                record = bytes(page.record_view(slot))
+                ctx.read_address(page.slot_address(slot), len(record))
+                records.append(pickle.loads(record))
+            self.pool.unpin(page_number)
+        return records
+
+
 class VecHashJoinOperator(VectorOperator):
     """Columnar hash join: the build side is concatenated into one columnar
     block whose hash table maps key -> row positions; each probe batch turns
@@ -558,6 +658,15 @@ class VecHashJoinOperator(VectorOperator):
     is streamed through it.  The flip recombines matched pairs into exactly
     the static plan's output -- same rows, same probe-major order, same
     dict-merge column order (see :meth:`_adaptive_batches`).
+
+    When the context carries a ``memory_budget_bytes``, the operator runs
+    its grace/hybrid spilling path instead (:meth:`_spill_batches`): both
+    inputs are hash-partitioned, as many partitions as fit the budget stay
+    resident, the rest spill through a budget-sized buffer pool and are
+    joined partition by partition (recursively re-partitioning overflows).
+    The recombination argument is the same as the flip's, so the output is
+    row-, order- and column-identical to the in-memory join at every
+    budget.
     """
 
     ENTRY_BYTES = HashJoinOperator.ENTRY_BYTES
@@ -572,7 +681,8 @@ class VecHashJoinOperator(VectorOperator):
                  probe_row_estimate: int = 1024,
                  build_key: Optional[str] = None,
                  probe_key: Optional[str] = None,
-                 batch_size: int = 256) -> None:
+                 batch_size: int = 256,
+                 build_row_bytes: int = 64) -> None:
         self.probe = probe
         self.build = build
         self.probe_column = probe_column.split(".")[-1]
@@ -588,8 +698,20 @@ class VecHashJoinOperator(VectorOperator):
         self.build_key = build_key or f"card:build.{self.build_column}"
         self.probe_key = probe_key or f"card:probe.{self.probe_column}"
         self.batch_size = max(batch_size, 1)
+        #: Nominal bytes one build row occupies when spilled (the source
+        #: table's record size when known) -- what the memory budget and the
+        #: partition-count decision reason about.
+        self.build_row_bytes = max(build_row_bytes, 1)
 
     def batches(self) -> Iterator[ColumnBatch]:
+        budget = getattr(self.ctx, "memory_budget_bytes", None)
+        if budget is not None:
+            # The budgeted path subsumes the join-side decision: the build
+            # side's footprint is governed by partitioning, not by flipping,
+            # so the adaptive manager contributes its partition_count policy
+            # and cardinality statistics rather than flip_join.
+            yield from self._spill_batches(budget, getattr(self.ctx, "adaptive", None))
+            return
         adaptive = getattr(self.ctx, "adaptive", None)
         if adaptive is not None and not adaptive.join_sides:
             adaptive = None
@@ -597,6 +719,28 @@ class VecHashJoinOperator(VectorOperator):
             yield from self._static_batches()
         else:
             yield from self._adaptive_batches(adaptive)
+
+    def _resize_hash_area(self, buckets: int, keys: Sequence) -> Tuple[int, int]:
+        """Grow the bucket array past the planner's estimate and re-charge.
+
+        The observed build cardinality has reached ``buckets`` (the sizing
+        estimate), so the charged footprint no longer matches reality: keep
+        hashing into the undersized area and the simulated working set --
+        and its cache behaviour -- would stay estimate-shaped however large
+        the input.  Mirror of a hash table's load-factor doubling: allocate
+        a doubled area and re-charge the rehash of every resident key.
+        Returns ``(new_buckets, new_area)``.
+        """
+        ctx = self.ctx
+        entry_bytes = self.ENTRY_BYTES
+        new_buckets = max(buckets * 2, 16)
+        new_area = ctx.allocate_workspace(new_buckets * entry_bytes)
+        if keys:
+            ctx.visit_batch("hash_build", len(keys))
+            for key in keys:
+                ctx.write_address(new_area + (hash(key) % new_buckets) * entry_bytes,
+                                  entry_bytes)
+        return new_buckets, new_area
 
     def _static_batches(self) -> Iterator[ColumnBatch]:
         ctx = self.ctx
@@ -606,6 +750,7 @@ class VecHashJoinOperator(VectorOperator):
 
         build_columns: Dict[str, List] = {}
         build_count = 0
+        build_keys: List = []
         hash_table: Dict[object, List[int]] = {}
         for batch in self.build.batches():
             if not len(batch):
@@ -618,9 +763,14 @@ class VecHashJoinOperator(VectorOperator):
                 for name, vector in batch.columns.items():
                     build_columns[name].extend(vector)
             for key in batch.vector(self.build_column):
+                if build_count == buckets:
+                    # Observed cardinality exceeds the sizing estimate:
+                    # reconcile by doubling (and re-charging) the area.
+                    buckets, hash_area = self._resize_hash_area(buckets, build_keys)
                 bucket_address = hash_area + (hash(key) % buckets) * entry_bytes
                 ctx.write_address(bucket_address, entry_bytes)
                 hash_table.setdefault(key, []).append(build_count)
+                build_keys.append(key)
                 build_count += 1
         build_block = ColumnBatch(build_columns, build_count)
 
@@ -788,6 +938,283 @@ class VecHashJoinOperator(VectorOperator):
             ctx.row_produced(len(chunk))
             yield merge_gather(build_block, build_positions, probe_block,
                                probe_positions)
+
+    # ----------------------------------------------- grace/hybrid spilling
+    def _spill_batches(self, budget: int, manager) -> Iterator[ColumnBatch]:
+        """Memory-budgeted execution: partition, spill, join, recombine.
+
+        Classic grace/hybrid hash join (cf. arXiv:2112.02480) against the
+        simulated memory hierarchy:
+
+        * the partition count comes from the policy's ``partition_count``
+          decision (planner estimate for static/off, observed cardinality
+          for greedy);
+        * partitions ``[0, resident)`` build in-memory hash tables during
+          ingest, charged exactly like the static join; the rest append
+          their rows to per-partition spill files through a buffer pool
+          whose capacity *is* the budget, so every page it cannot hold is a
+          charged eviction/reload;
+        * if ingest observes more resident bytes than the budget allows,
+          the highest-numbered resident partition is demoted -- its rows
+          are spilled and its table dropped -- until the budget holds
+          (dynamic destaging, the "hybrid" in hybrid hash);
+        * spilled partitions are joined after ingest; one whose build side
+          still exceeds the budget is recursively re-partitioned with a
+          level-salted hash (bounded by ``_MAX_SPILL_DEPTH``).
+
+        Identity argument: every match is collected as a (global probe
+        position, global build position) pair; the static join emits pairs
+        ordered lexicographically by exactly that tuple (probe batches
+        stream in order; each probe row's matches come back in build
+        insertion order, and per-partition spill files preserve insertion
+        order), so sorting the collected pairs restores the static row
+        order, and ``merge_gather`` with the build block on the left
+        restores the static dict-merge column order.
+        """
+        ctx = self.ctx
+        entry_bytes = self.ENTRY_BYTES
+        row_bytes = self.build_row_bytes
+        collector = manager.collector if manager is not None else None
+        if manager is not None:
+            partitions = manager.policy.partition_count(
+                self.build_key, self.build_row_estimate, row_bytes, budget,
+                collector)
+        else:
+            partitions = plan_partition_count(self.build_row_estimate,
+                                              row_bytes, budget)
+        partitions = max(partitions, 1)
+
+        spill_pool: Optional[BufferPool] = None
+
+        def pool() -> BufferPool:
+            # Created lazily so a budget the input fits under allocates
+            # nothing and charges nothing beyond the static join's work.
+            nonlocal spill_pool
+            if spill_pool is None:
+                page_size = DEFAULT_PAGE_SIZE
+                spill_pool = BufferPool(ctx.address_space, region="workspace",
+                                        page_size=page_size,
+                                        capacity_pages=max(budget // page_size, 1),
+                                        io=ctx)
+                self.spill_pool = spill_pool
+            return spill_pool
+
+        def spill_file(files: List[Optional[_SpillFile]], index: int) -> _SpillFile:
+            handle = files[index]
+            if handle is None:
+                handle = files[index] = _SpillFile(pool(), row_bytes)
+            return handle
+
+        hash_area = ctx.allocate_workspace(self.build_row_estimate * entry_bytes)
+        buckets = self.build_row_estimate
+
+        # ---- build ingest: resident tables + spill files ----
+        build_columns: Dict[str, List] = {}
+        build_count = 0
+        resident = partitions
+        resident_bytes = 0
+        resident_count = 0
+        resident_keys: List[List] = [[] for _ in range(partitions)]
+        resident_tables: List[Optional[Dict[object, List[int]]]] = [
+            {} for _ in range(partitions)]
+        resident_rows: List[List[int]] = [[] for _ in range(partitions)]
+        build_files: List[Optional[_SpillFile]] = [None] * partitions
+        probe_files: List[Optional[_SpillFile]] = [None] * partitions
+
+        def row_values(columns: Dict[str, List], position: int) -> Tuple:
+            return tuple(vector[position] for vector in columns.values())
+
+        def demote_one() -> None:
+            """Spill the highest-numbered resident partition (destaging)."""
+            nonlocal resident, resident_bytes, resident_count
+            resident -= 1
+            victim = resident
+            handle = spill_file(build_files, victim)
+            for position in resident_rows[victim]:
+                handle.append(ctx, position, row_values(build_columns, position))
+            resident_bytes -= len(resident_rows[victim]) * row_bytes
+            resident_count -= len(resident_rows[victim])
+            resident_tables[victim] = None
+            resident_rows[victim] = []
+            resident_keys[victim] = []
+
+        for batch in self.build.batches():
+            if not len(batch):
+                continue
+            ctx.visit_batch("hash_build", len(batch))
+            if not build_columns:
+                build_columns = {name: list(vector)
+                                 for name, vector in batch.columns.items()}
+            else:
+                for name, vector in batch.columns.items():
+                    build_columns[name].extend(vector)
+            for key in batch.vector(self.build_column):
+                part = _spill_partition_of(key, 0, partitions)
+                if part < resident:
+                    if resident_count == buckets:
+                        buckets, hash_area = self._resize_hash_area(
+                            buckets,
+                            [k for part_keys in resident_keys[:resident]
+                             for k in part_keys])
+                    bucket_address = hash_area + (hash(key) % buckets) * entry_bytes
+                    ctx.write_address(bucket_address, entry_bytes)
+                    resident_tables[part].setdefault(key, []).append(build_count)
+                    resident_rows[part].append(build_count)
+                    resident_keys[part].append(key)
+                    resident_count += 1
+                    resident_bytes += row_bytes
+                    while resident_bytes > budget and resident > 0:
+                        demote_one()
+                else:
+                    spill_file(build_files, part).append(
+                        ctx, build_count, row_values(build_columns, build_count))
+                build_count += 1
+        if collector is not None:
+            collector.observe_cardinality(self.build_key, build_count)
+        # The resident set is frozen from here on: demotions during the
+        # probe phase would lose matches already probed against the table.
+        del resident_keys
+
+        # ---- probe ingest: probe resident partitions, spill the rest ----
+        probe_columns: Dict[str, List] = {}
+        probe_count = 0
+        pairs: List[Tuple[int, int]] = []
+        for batch in self.probe.batches():
+            if not len(batch):
+                continue
+            ctx.visit_batch("hash_probe", len(batch))
+            if not probe_columns:
+                probe_columns = {name: list(vector)
+                                 for name, vector in batch.columns.items()}
+            else:
+                for name, vector in batch.columns.items():
+                    probe_columns[name].extend(vector)
+            for key in batch.vector(self.probe_column):
+                part = _spill_partition_of(key, 0, partitions)
+                if part < resident:
+                    bucket_address = hash_area + (hash(key) % buckets) * entry_bytes
+                    ctx.read_address(bucket_address, entry_bytes)
+                    matches = resident_tables[part].get(key)
+                    if matches:
+                        pairs.extend((probe_count, build_position)
+                                     for build_position in matches)
+                else:
+                    handle = build_files[part]
+                    # A probe row of a build-empty partition cannot match;
+                    # the build phase's partition sizes are known, so grace
+                    # joins skip its spill write.
+                    if handle is not None and handle.row_count:
+                        spill_file(probe_files, part).append(
+                            ctx, probe_count,
+                            row_values(probe_columns, probe_count))
+                probe_count += 1
+        if collector is not None:
+            collector.observe_cardinality(self.probe_key, probe_count)
+
+        # ---- join the spilled partitions, ascending index ----
+        probe_key_index: Optional[int] = None
+        build_key_index: Optional[int] = None
+        if build_columns:
+            build_key_index = _column_index(tuple(build_columns), self.build_column)
+        if probe_columns:
+            probe_key_index = _column_index(tuple(probe_columns), self.probe_column)
+        for part in range(resident, partitions):
+            build_handle = build_files[part]
+            probe_handle = probe_files[part]
+            if build_handle is None or probe_handle is None:
+                continue
+            if not build_handle.row_count or not probe_handle.row_count:
+                continue
+            self._join_partition(build_handle.read_all(ctx),
+                                 probe_handle.read_all(ctx),
+                                 build_key_index, probe_key_index,
+                                 level=1, budget=budget, pool=pool,
+                                 pairs=pairs)
+
+        # ---- recombination: sorted pairs restore the static order ----
+        build_block = ColumnBatch(build_columns, build_count)
+        probe_block = ColumnBatch(probe_columns, probe_count)
+        pairs.sort()
+        for chunk in _chunked(pairs, self.batch_size):
+            probe_positions = [pair[0] for pair in chunk]
+            build_positions = [pair[1] for pair in chunk]
+            ctx.visit_batch("join_output", len(chunk))
+            ctx.row_produced(len(chunk))
+            yield merge_gather(build_block, build_positions, probe_block,
+                               probe_positions)
+
+    def _join_partition(self,
+                        build_rows: List[Tuple[int, Tuple]],
+                        probe_rows: List[Tuple[int, Tuple]],
+                        build_key_index: int,
+                        probe_key_index: int,
+                        level: int,
+                        budget: int,
+                        pool: Callable[[], BufferPool],
+                        pairs: List[Tuple[int, int]]) -> None:
+        """Join one spilled partition, re-partitioning if it overflows.
+
+        ``build_rows`` / ``probe_rows`` are ``(global position, values)``
+        records in insertion order.  A build side over budget is fanned out
+        again with the next level's salt (both sides rewritten through the
+        spill pool, charged); at :data:`_MAX_SPILL_DEPTH` the partition is
+        built in memory regardless -- recursion that deep means one
+        duplicate-heavy key no amount of partitioning can split.
+        """
+        ctx = self.ctx
+        entry_bytes = self.ENTRY_BYTES
+        row_bytes = self.build_row_bytes
+        footprint = len(build_rows) * row_bytes
+        if footprint > budget and level < _MAX_SPILL_DEPTH and len(build_rows) > 1:
+            fanout = max(plan_partition_count(len(build_rows), row_bytes, budget), 2)
+            sub_build: List[Optional[_SpillFile]] = [None] * fanout
+            sub_probe: List[Optional[_SpillFile]] = [None] * fanout
+            for position, values in build_rows:
+                part = _spill_partition_of(values[build_key_index], level, fanout)
+                handle = sub_build[part]
+                if handle is None:
+                    handle = sub_build[part] = _SpillFile(pool(), row_bytes)
+                handle.append(ctx, position, values)
+            for position, values in probe_rows:
+                part = _spill_partition_of(values[probe_key_index], level, fanout)
+                build_handle = sub_build[part]
+                if build_handle is None or not build_handle.row_count:
+                    continue
+                handle = sub_probe[part]
+                if handle is None:
+                    handle = sub_probe[part] = _SpillFile(pool(), row_bytes)
+                handle.append(ctx, position, values)
+            for part in range(fanout):
+                build_handle = sub_build[part]
+                probe_handle = sub_probe[part]
+                if build_handle is None or probe_handle is None:
+                    continue
+                if not build_handle.row_count or not probe_handle.row_count:
+                    continue
+                self._join_partition(build_handle.read_all(ctx),
+                                     probe_handle.read_all(ctx),
+                                     build_key_index, probe_key_index,
+                                     level + 1, budget, pool, pairs)
+            return
+
+        buckets = max(len(build_rows), 16)
+        area = ctx.allocate_workspace(buckets * entry_bytes)
+        table: Dict[object, List[int]] = {}
+        ctx.visit_batch("hash_build", len(build_rows))
+        for position, values in build_rows:
+            key = values[build_key_index]
+            ctx.write_address(area + (hash(key) % buckets) * entry_bytes,
+                              entry_bytes)
+            table.setdefault(key, []).append(position)
+        ctx.visit_batch("hash_probe", len(probe_rows))
+        for position, values in probe_rows:
+            key = values[probe_key_index]
+            ctx.read_address(area + (hash(key) % buckets) * entry_bytes,
+                             entry_bytes)
+            matches = table.get(key)
+            if matches:
+                pairs.extend((position, build_position)
+                             for build_position in matches)
 
 
 class VecNestedLoopJoinOperator(VectorOperator):
@@ -1003,13 +1430,16 @@ def build_vectorized_join(plan: JoinPlan, catalog: Catalog, ctx: ExecutionContex
         estimate = catalog.table(build_table_name).row_count if build_table_name else 1024
         probe_estimate = (catalog.table(probe_table_name).row_count
                           if probe_table_name else 1024)
+        build_row_bytes = (catalog.table(build_table_name).layout.record_size
+                           if build_table_name else 64)
         return VecHashJoinOperator(
             probe, build, plan.probe_column, plan.build_column, ctx,
             build_row_estimate=max(estimate, 16),
             probe_row_estimate=max(probe_estimate, 16),
             build_key=f"card:{build_table_name or plan.build_column}",
             probe_key=f"card:{probe_table_name or plan.probe_column}",
-            batch_size=batch_size)
+            batch_size=batch_size,
+            build_row_bytes=build_row_bytes)
     if isinstance(plan, NestedLoopJoinPlan):
         outer_columns = list(output_columns) + [plan.outer_column]
         inner_columns = list(output_columns) + [plan.inner_column]

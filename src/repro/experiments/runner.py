@@ -331,7 +331,8 @@ class ExperimentRunner:
                      parallelism: Optional[int] = None,
                      adaptive_joins: bool = False,
                      adaptive_batching: bool = False,
-                     batch_size: Optional[int] = None) -> Session:
+                     batch_size: Optional[int] = None,
+                     memory_budget_bytes: Optional[int] = None) -> Session:
         """A measurement session against the cached grid build.
 
         The address space is rolled back to the post-build checkpoint
@@ -345,7 +346,9 @@ class ExperimentRunner:
         vector size (the batch-size cells deliberately start from a wrong
         one); ``parallelism`` overrides the config knob per session (the
         bench pins adaptive cells to serial, where their cycles are
-        deterministic).
+        deterministic).  ``memory_budget_bytes`` caps the vectorized hash
+        join's working memory (the budget-sweep cells express it relative
+        to the build side's ``s_bytes``).
         """
         database, checkpoint = self.grid_database(layout)
         database.address_space.restore(checkpoint)
@@ -354,6 +357,8 @@ class ExperimentRunner:
         kwargs = {}
         if batch_size is not None:
             kwargs["batch_size"] = batch_size
+        if memory_budget_bytes is not None:
+            kwargs["memory_budget_bytes"] = memory_budget_bytes
         return Session(database, system_by_key(system_key), spec=self.config.spec,
                        os_interference=self.config.os_config(), engine=engine,
                        parallelism=parallelism,

@@ -110,6 +110,15 @@ class ExecutionConfig:
     #: ``adaptivity != "off"``; ``static`` keeps the configured size, so it
     #: is the control arm for the same scan structure).
     adaptive_batching: bool = False
+    #: Join working-memory budget in bytes.  ``None`` (the default) keeps
+    #: every operator fully memory-resident and bit-identical to previous
+    #: releases.  When set, the vectorized hash join hash-partitions inputs
+    #: whose build side exceeds the budget into spill partitions through a
+    #: capacity-limited buffer pool (grace/hybrid), and the buffer pool's
+    #: page traffic is charged through the context's I/O cost model.
+    #: Result rows, their order and their column order are identical to the
+    #: in-memory join at every budget.
+    memory_budget_bytes: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:
@@ -139,6 +148,15 @@ class ExecutionConfig:
                 f"{ADAPTIVITY_OFF!r}: the decisions are made by the adaptivity "
                 "policy (use adaptivity='static' for the never-adapt control "
                 "arm rather than 'off', which bypasses the subsystem entirely)")
+        if self.memory_budget_bytes is not None:
+            if self.memory_budget_bytes < 1:
+                raise ValueError("memory_budget_bytes must be at least 1 when set")
+            if self.engine != ENGINE_VECTORIZED:
+                raise ValueError(
+                    f"memory_budget_bytes requires engine={ENGINE_VECTORIZED!r}: "
+                    f"only the vectorized hash join implements grace/hybrid "
+                    f"spilling (the tuple engine would silently ignore the "
+                    f"budget)")
 
     @property
     def is_vectorized(self) -> bool:

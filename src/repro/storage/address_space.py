@@ -24,6 +24,12 @@ reasons about stay distinguishable in the traces:
     part of this region fitting in the 16 KB L1D.
 ``catalog``
     Schema and metadata objects (touched rarely).
+``disk``
+    Simulated backing store for evicted buffer-pool pages.  Addresses in
+    this region are never touched by the cache simulation directly; the
+    buffer pool charges page transfers in and out of it through the
+    :class:`~repro.execution.context.ExecutionContext` I/O cost model, so a
+    memory-constrained run pays for its faults instead of crashing on them.
 """
 
 from __future__ import annotations
@@ -39,6 +45,7 @@ DEFAULT_REGION_BASES: Dict[str, int] = {
     "index": 0x3000_0000,
     "workspace": 0x4000_0000,
     "catalog": 0x5000_0000,
+    "disk": 0x6000_0000,
 }
 
 DEFAULT_REGION_SIZE = 0x1000_0000  # 256 MB per region: the paper-scale R (120 MB) fits.

@@ -1,31 +1,49 @@
-"""Memory-resident buffer pool.
+"""Buffer pool with a simulated backing store.
 
 The paper configures every DBMS with a buffer pool "large enough to fit the
 datasets for all the queries" and verifies that no significant I/O happens
 during measurement: the study is explicitly about processor and memory
-behaviour, not the I/O subsystem.  The buffer pool here reflects that setup:
+behaviour, not the I/O subsystem.  The default pool (``capacity_pages=None``)
+reflects that setup -- every page stays resident and the fault counter stays
+zero after load, which the tests assert.
 
-* every page lives in memory for the lifetime of the pool (no eviction path
-  is exercised by the experiments, although an LRU eviction policy and a
-  capacity limit are implemented so that the component is a complete
-  substrate and can be stress-tested);
+A capacity-limited pool, however, is now a real memory budget rather than a
+data-loss trap:
+
+* evicted frames are written to a simulated backing store (the ``disk``
+  region of the :class:`~repro.storage.address_space.AddressSpace`); dirty
+  victims charge a page write through the optional ``io`` cost model before
+  they leave the pool;
+* :meth:`fetch_page` transparently reloads a faulted page from the backing
+  store as a charged page read -- the strict :class:`BufferPoolError` is
+  reserved for page numbers that were never allocated;
 * each frame receives a stable, page-aligned simulated virtual address from
-  the ``heap`` (or ``index``) region of the :class:`~repro.storage.
-  address_space.AddressSpace`, which is what ties the logical DBMS objects to
-  the cache simulation;
-* pin counts and hit/miss statistics are maintained so tests can assert that
-  the workloads are indeed memory resident (miss count stays zero after
-  load).
+  the ``heap`` (or ``index``, or ``workspace``) region, which is what ties
+  the logical DBMS objects to the cache simulation; backing-store copies get
+  a stable ``disk`` address so page transfers have somewhere to be charged;
+* pin counts and hit/miss/eviction/transfer statistics are maintained so
+  tests and benchmarks can reason about residency (a memory-resident run has
+  zero faults; a memory-constrained hybrid hash join shows its spill traffic
+  in ``page_reads``/``page_writes``).
+
+The ``io`` collaborator only needs two methods, ``page_io_out(address,
+nbytes)`` and ``page_io_in(address, nbytes)`` -- the
+:class:`~repro.execution.context.ExecutionContext` implements them by
+charging the simulated processor for the transferred lines.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterator, Optional, Tuple
+from typing import Callable, Dict, Iterator, Optional
 
 from .address_space import AddressSpace
-from .page import DEFAULT_PAGE_SIZE, PageError, SlottedPage
+from .page import DEFAULT_PAGE_SIZE, SlottedPage
+
+#: Region that backs evicted pages.  Pages are only assigned an address here
+#: lazily, on first eviction, so memory-resident pools never touch it.
+BACKING_REGION = "disk"
 
 
 class BufferPoolError(RuntimeError):
@@ -34,12 +52,14 @@ class BufferPoolError(RuntimeError):
 
 @dataclass
 class BufferPoolStats:
-    """Fetch statistics (hits vs. faults) and occupancy."""
+    """Fetch statistics (hits vs. faults), evictions and page transfers."""
 
     fetches: int = 0
     hits: int = 0
     faults: int = 0
     evictions: int = 0
+    page_reads: int = 0
+    page_writes: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -47,36 +67,45 @@ class BufferPoolStats:
 
     def as_dict(self) -> dict:
         return {"fetches": self.fetches, "hits": self.hits, "faults": self.faults,
-                "evictions": self.evictions, "hit_rate": self.hit_rate}
+                "evictions": self.evictions, "page_reads": self.page_reads,
+                "page_writes": self.page_writes, "hit_rate": self.hit_rate}
 
 
 class BufferPool:
-    """Page allocator and cache of :class:`SlottedPage` frames."""
+    """Page allocator and LRU cache of :class:`SlottedPage` frames."""
 
     def __init__(self,
                  address_space: AddressSpace,
                  region: str = "heap",
                  page_size: int = DEFAULT_PAGE_SIZE,
-                 capacity_pages: Optional[int] = None) -> None:
+                 capacity_pages: Optional[int] = None,
+                 io=None) -> None:
         self.address_space = address_space
         self.region = region
         self.page_size = page_size
         self.capacity_pages = capacity_pages
+        self.io = io
         self._frames: "OrderedDict[int, SlottedPage]" = OrderedDict()
         self._pins: Dict[int, int] = {}
+        #: Evicted pages, keyed by page number (the simulated disk contents).
+        self._store: Dict[int, SlottedPage] = {}
+        #: Stable ``disk``-region address per spilled page number.
+        self._disk_addresses: Dict[int, int] = {}
         self._next_page_number = 0
         self.stats = BufferPoolStats()
 
     # ------------------------------------------------------------ allocation
     def allocate_page(self,
-                      page_factory: Optional[Callable[[int, int], SlottedPage]] = None
-                      ) -> SlottedPage:
+                      page_factory: Optional[Callable[[int, int], SlottedPage]] = None,
+                      pin: bool = False) -> SlottedPage:
         """Create a brand-new page with a stable virtual address.
 
         ``page_factory(page_number, base_address)`` lets the caller choose
         the page organisation (a heap file configured for the PAX layout
         allocates :class:`~repro.storage.page.PaxPage` frames); the default
-        is the classic slotted NSM page.
+        is the classic slotted NSM page.  With ``pin=True`` the new page is
+        returned already pinned, so a tight ``capacity_pages`` cannot evict
+        it before the caller gets to use it.
         """
         page_number = self._next_page_number
         self._next_page_number += 1
@@ -87,43 +116,90 @@ class BufferPool:
         else:
             page = page_factory(page_number, base_address)
         self._admit(page)
+        if pin:
+            self.pin(page_number)
         return page
 
     def _admit(self, page: SlottedPage) -> None:
-        if self.capacity_pages is not None and len(self._frames) >= self.capacity_pages:
-            self._evict_one()
+        """Insert ``page`` as the most-recently-used frame.
+
+        The page is inserted *before* any eviction runs and is exempt from
+        it, so a freshly allocated or freshly reloaded page can never be the
+        victim that makes room for itself.
+        """
         self._frames[page.page_number] = page
         self._frames.move_to_end(page.page_number)
+        if self.capacity_pages is not None:
+            try:
+                while len(self._frames) > self.capacity_pages:
+                    self._evict_one(exempt=page.page_number)
+            except BufferPoolError:
+                # Roll the admission back so a failed allocate/reload does
+                # not leave the pool over capacity.
+                self._frames.pop(page.page_number, None)
+                raise
 
-    def _evict_one(self) -> None:
+    def _evict_one(self, exempt: Optional[int] = None) -> None:
+        """Evict the least-recently-used unpinned frame to the backing store."""
         for page_number in self._frames:
+            if page_number == exempt:
+                continue
             if self._pins.get(page_number, 0) == 0:
                 victim = self._frames.pop(page_number)
                 if victim.dirty:
-                    # A real system would write the page out here; the
-                    # memory-resident experiments never reach this path.
+                    if self.io is not None:
+                        self.io.page_io_out(self._disk_address(page_number),
+                                            self.page_size)
+                    self.stats.page_writes += 1
                     victim.dirty = False
+                self._store[page_number] = victim
                 self.stats.evictions += 1
                 return
         raise BufferPoolError("buffer pool is full and every page is pinned")
 
+    def _disk_address(self, page_number: int) -> int:
+        """Stable backing-store address for ``page_number`` (lazily assigned)."""
+        address = self._disk_addresses.get(page_number)
+        if address is None:
+            address = self.address_space.allocate(BACKING_REGION, self.page_size,
+                                                  alignment=self.page_size)
+            self._disk_addresses[page_number] = address
+        return address
+
     # ---------------------------------------------------------------- fetch
     def fetch_page(self, page_number: int, pin: bool = False) -> SlottedPage:
-        """Return the frame for ``page_number`` (always a hit once loaded)."""
+        """Return the frame for ``page_number``, reloading it on a fault.
+
+        A resident page is a hit.  An evicted page is a fault: it is read
+        back from the backing store as a charged page transfer (possibly
+        evicting another frame to make room).  Only a page number that was
+        never allocated raises :class:`BufferPoolError`.
+        """
         self.stats.fetches += 1
         page = self._frames.get(page_number)
         if page is None:
             self.stats.faults += 1
-            raise BufferPoolError(
-                f"page {page_number} is not resident; the experiments assume a "
-                f"memory-resident database (no I/O path)")
-        self.stats.hits += 1
-        self._frames.move_to_end(page_number)
+            stored = self._store.pop(page_number, None)
+            if stored is None:
+                raise BufferPoolError(
+                    f"page {page_number} was never allocated in this pool")
+            if self.io is not None:
+                self.io.page_io_in(self._disk_address(page_number), self.page_size)
+            self.stats.page_reads += 1
+            self._admit(stored)
+            page = stored
+        else:
+            self.stats.hits += 1
+            self._frames.move_to_end(page_number)
         if pin:
             self.pin(page_number)
         return page
 
     def page_exists(self, page_number: int) -> bool:
+        """Whether ``page_number`` is retrievable (resident or spilled)."""
+        return page_number in self._frames or page_number in self._store
+
+    def is_resident(self, page_number: int) -> bool:
         return page_number in self._frames
 
     # ----------------------------------------------------------------- pins

@@ -106,7 +106,11 @@ class HeapFile:
                 def factory(page_number: int, base_address: int) -> PaxPage:
                     return PaxPage(page_number, base_address, layout, page_size)
 
-            page = self.buffer_pool.allocate_page(factory)
+            if page is not None:
+                # The previous fill target was pinned below; release it so a
+                # capacity-limited pool may evict it now that it is full.
+                self.buffer_pool.unpin(page.page_number)
+            page = self.buffer_pool.allocate_page(factory, pin=True)
             self._page_numbers.append(page.page_number)
             self._current_page = page
         return page

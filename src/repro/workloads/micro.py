@@ -87,6 +87,13 @@ class MicroWorkloadConfig:
     def r_bytes(self) -> int:
         return self.r_rows * self.record_size
 
+    @property
+    def s_bytes(self) -> int:
+        """Bytes of S -- the equijoin's build side, the quantity a join
+        memory budget is expressed relative to (the bench's budget sweep
+        runs at infinity / 2x / 1x / 0.5x this size)."""
+        return self.s_rows * self.record_size
+
 
 class MicroWorkload:
     """Builds the R/S dataset and the three microbenchmark queries."""
@@ -274,6 +281,27 @@ class MicroWorkload:
             aggregates=(avg("R.a3"),),
             build_side="left",
             label="AJS",
+        )
+
+    def over_budget_join(self) -> JoinQuery:
+        """The memory-budget microworkload: the same equijoin, run under a
+        ``memory_budget_bytes`` the session chooses relative to
+        :attr:`MicroWorkloadConfig.s_bytes` (the build side's footprint).
+
+        The query itself is identical to :meth:`sequential_join` -- the
+        planner still builds on the smaller S -- because the budget is an
+        execution knob, not a query property: the bench sweeps one query
+        across budgets of infinity / 2x / 1x / 0.5x the build size and
+        records how the grace/hybrid spilling path trades charged page I/O
+        for residency.  Result rows are identical at every budget.
+        """
+        return JoinQuery(
+            left_table=self.R_TABLE,
+            right_table=self.S_TABLE,
+            left_column="a2",
+            right_column="a1",
+            aggregates=(avg("R.a3"),),
+            label="SJB",
         )
 
     def _selectivity_label(self, selectivity: Optional[float]) -> str:

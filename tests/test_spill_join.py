@@ -1,0 +1,301 @@
+"""Differential harness for the memory-budgeted (spilling) hash join.
+
+The grace/hybrid spilling path must be invisible at the result level: for
+*every* ``memory_budget_bytes`` -- from "everything fits" down to budgets
+smaller than a single build row -- the vectorized hash join must produce
+exactly the rows the unbudgeted in-memory join produces, in the same
+probe-major order, with the same dict-merge column order.  These tests pin
+that contract deterministically (a ladder of budgets straddling the build
+side's footprint), adversarially (Hypothesis drawing random budgets, batch
+sizes and layouts) and across the other engine axes (tuple engine, charge
+modes, morsel workers).
+
+Also covered here: the hash-area resize when the observed build
+cardinality exceeds the planner's estimate (satellite of the same PR), the
+``partition_count`` policy decision, and the config-level validation of
+the budget knob.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adaptive.policy import (MAX_PARTITIONS, AdaptivePolicy,
+                                   GreedyRankPolicy, plan_partition_count)
+from repro.adaptive.stats import RuntimeStatsCollector
+from repro.engine import Database, Session
+from repro.execution import ExecutionContext, execute_plan
+from repro.execution.vectorized import VecHashJoinOperator, build_vectorized_scan
+from repro.hardware import SimulatedProcessor
+from repro.query import ExecutionConfig, JoinQuery, Planner, count_star
+from repro.query.planner import DefaultPolicy
+from repro.query.plans import HashJoinPlan
+from repro.storage.schema import ColumnType
+from repro.systems import SYSTEM_B
+
+R_ROWS = 108
+S_ROWS = 12
+KEY_DOMAIN = 18          # R.a2 in [1, 18], S.a1 unique in [1, 12]: ~2/3 match
+
+JOIN_QUERY = JoinQuery(left_table="R", right_table="S",
+                       left_column="a2", right_column="a1",
+                       aggregates=(count_star(),))
+
+#: Build side footprint: S_ROWS rows at record_size 100.
+BUILD_BYTES = S_ROWS * 100
+
+
+def build_database(layout_style: str = "nsm", seed: int = 7,
+                   s_rows: int = S_ROWS) -> Database:
+    db = Database()
+    columns = [("a1", ColumnType.INT32), ("a2", ColumnType.INT32),
+               ("a3", ColumnType.INT32)]
+    db.create_table("R", columns, record_size=100, layout_style=layout_style)
+    db.create_table("S", columns, record_size=100, layout_style=layout_style)
+    rng = random.Random(seed)
+    db.load("R", [(i + 1, rng.randint(1, KEY_DOMAIN), rng.randint(0, 9_999))
+                  for i in range(R_ROWS)])
+    db.load("S", [(i + 1, rng.randint(1, KEY_DOMAIN), rng.randint(0, 9_999))
+                  for i in range(s_rows)])
+    return db
+
+
+def join_plan_for(db: Database) -> HashJoinPlan:
+    plan = Planner(db.catalog, DefaultPolicy(join_algorithm="hash")).plan(JOIN_QUERY)
+    assert isinstance(plan.input, HashJoinPlan)
+    return plan.input
+
+
+def run_join(layout: str, budget, batch_size: int = 64,
+             charge_mode: str = "span", seed: int = 7):
+    """One spilling-join execution on a fresh seeded database."""
+    db = build_database(layout, seed=seed)
+    ctx = ExecutionContext(SimulatedProcessor(), SYSTEM_B, db.address_space,
+                           charge_mode=charge_mode)
+    ctx.memory_budget_bytes = budget
+    rows = execute_plan(join_plan_for(db), db.catalog, ctx,
+                        execution=ExecutionConfig(engine="vectorized",
+                                                  batch_size=batch_size,
+                                                  charge_mode=charge_mode,
+                                                  memory_budget_bytes=budget))
+    return rows, ctx
+
+
+@pytest.fixture(scope="module")
+def baselines():
+    """Unbudgeted reference rows per layout (the identity target)."""
+    return {layout: run_join(layout, None)[0] for layout in ("nsm", "pax")}
+
+
+# Budgets straddling the build footprint: everything-resident, exactly the
+# footprint, fractions that force 2..many partitions, and degenerate
+# budgets below one row / one page.
+BUDGET_LADDER = (10 * BUILD_BYTES, 2 * BUILD_BYTES, BUILD_BYTES,
+                 BUILD_BYTES // 2, BUILD_BYTES // 4, 350, 96)
+
+
+class TestBudgetSweepIdentity:
+    @pytest.mark.parametrize("layout", ["nsm", "pax"])
+    @pytest.mark.parametrize("budget", BUDGET_LADDER)
+    def test_rows_identical_at_every_budget(self, baselines, layout, budget):
+        rows, ctx = run_join(layout, budget)
+        assert rows == baselines[layout]
+        # Same dict-merge column order, not just equal mappings.
+        if rows:
+            assert list(rows[0]) == list(baselines[layout][0])
+
+    @pytest.mark.parametrize("layout", ["nsm", "pax"])
+    def test_tight_budgets_actually_spill(self, layout):
+        _, ctx = run_join(layout, BUILD_BYTES // 2)
+        assert ctx.io_stats["page_reads"] > 0
+        assert ctx.io_stats["page_writes"] > 0
+
+    @pytest.mark.parametrize("layout", ["nsm", "pax"])
+    def test_resident_budgets_do_no_io(self, layout):
+        _, ctx = run_join(layout, 10 * BUILD_BYTES)
+        assert ctx.io_stats["page_reads"] == 0
+        assert ctx.io_stats["page_writes"] == 0
+
+    def test_spilled_join_matches_tuple_engine(self, baselines):
+        db = build_database("nsm")
+        ctx = ExecutionContext(SimulatedProcessor(), SYSTEM_B, db.address_space)
+        tuple_rows = execute_plan(join_plan_for(db), db.catalog, ctx)
+        spilled_rows, _ = run_join("nsm", BUILD_BYTES // 3)
+        assert spilled_rows == tuple_rows == baselines["nsm"]
+
+
+class TestChargeModeIdentity:
+    """Span charging must stay a pure simulator optimisation under spilling."""
+
+    @pytest.mark.parametrize("budget", [BUILD_BYTES // 2, 350])
+    def test_span_and_per_address_agree(self, budget):
+        outcomes = {}
+        for mode in ("per_address", "span"):
+            rows, ctx = run_join("pax", budget, charge_mode=mode)
+            processor = ctx.processor
+            processor.finalize()
+            snap = processor.caches.snapshot()
+            counts = {
+                "l1d": snap.l1d, "l2": snap.l2,
+                "dtlb": processor.dtlb.stats.as_dict(),
+                "user": dict(processor.counters.user),
+                "sup": dict(processor.counters.sup),
+            }
+            outcomes[mode] = (rows, counts, ctx.io_stats.copy())
+        rows_span, counts_span, io_span = outcomes["span"]
+        rows_ref, counts_ref, io_ref = outcomes["per_address"]
+        assert rows_span == rows_ref
+        assert counts_span == counts_ref
+        assert io_span == io_ref
+
+
+@given(budget=st.integers(min_value=64, max_value=4 * BUILD_BYTES),
+       layout=st.sampled_from(["nsm", "pax"]),
+       batch_size=st.sampled_from([1, 7, 64]))
+@settings(max_examples=15, deadline=None)
+def test_hypothesis_random_budgets_are_invisible(budget, layout, batch_size):
+    reference, _ = run_join(layout, None, batch_size=64)
+    rows, _ = run_join(layout, budget, batch_size=batch_size)
+    assert rows == reference
+
+
+class TestMorselWorkers:
+    @pytest.mark.parametrize("budget", [None, BUILD_BYTES // 2])
+    def test_parallel_session_rows_match_serial(self, budget):
+        results = {}
+        for workers in (1, 2):
+            db = build_database("pax")
+            session = Session(db, SYSTEM_B, os_interference=None,
+                              engine="vectorized", parallelism=workers,
+                              parallel_backend="inline",
+                              memory_budget_bytes=budget)
+            results[workers] = session.execute(JOIN_QUERY).rows
+        assert results[2] == results[1]
+
+    def test_session_threads_budget_to_context(self):
+        db = build_database("nsm")
+        session = Session(db, SYSTEM_B, os_interference=None,
+                          engine="vectorized",
+                          memory_budget_bytes=BUILD_BYTES // 2)
+        result = session.execute(JOIN_QUERY)
+        assert session.context.memory_budget_bytes == BUILD_BYTES // 2
+        assert session.context.io_stats["page_reads"] > 0
+        assert result.rows[0]["count(*)"] > 0
+
+
+# ---------------------------------------------------------------------------
+# Hash-area resize on build-estimate overflow
+# ---------------------------------------------------------------------------
+def _drain_columns(op):
+    cols = {}
+    order = None
+    for batch in op.batches():
+        if order is None:
+            order = list(batch.columns)
+        for name, vector in batch.columns.items():
+            cols.setdefault(name, []).extend(vector)
+    return order, cols
+
+
+def _make_join_op(db, ctx, build_row_estimate, batch_size=32):
+    plan = join_plan_for(db)
+    probe = build_vectorized_scan(plan.probe, db.catalog, ctx,
+                                  [plan.probe_column], batch_size=batch_size)
+    build = build_vectorized_scan(plan.build, db.catalog, ctx,
+                                  [plan.build_column], batch_size=batch_size)
+    return VecHashJoinOperator(probe, build, plan.probe_column,
+                               plan.build_column, ctx,
+                               build_row_estimate=build_row_estimate,
+                               probe_row_estimate=R_ROWS,
+                               batch_size=batch_size, build_row_bytes=100)
+
+
+class TestHashAreaResize:
+    """Observed build cardinality beyond the estimate doubles (and
+    re-charges) the hash area instead of silently under-modelling it."""
+
+    S_BIG = 40   # build side larger than the deliberate estimate of 16
+
+    def _run(self, estimate, budget=None):
+        db = build_database("nsm", s_rows=self.S_BIG)
+        ctx = ExecutionContext(SimulatedProcessor(), SYSTEM_B, db.address_space)
+        ctx.memory_budget_bytes = budget
+        op = _make_join_op(db, ctx, build_row_estimate=estimate)
+        order, cols = _drain_columns(op)
+        return order, cols, ctx
+
+    def test_underestimated_build_output_is_identical(self):
+        order_small, cols_small, ctx_small = self._run(estimate=16)
+        order_exact, cols_exact, ctx_exact = self._run(estimate=self.S_BIG)
+        assert cols_small == cols_exact
+        assert order_small == order_exact
+        # The resize re-charged the rehash: strictly more build work.
+        assert (ctx_small.op_invocations["hash_build"]
+                > ctx_exact.op_invocations["hash_build"])
+
+    def test_resize_under_memory_budget(self):
+        budget = self.S_BIG * 100        # fully resident hybrid, tiny estimate
+        order_small, cols_small, _ = self._run(estimate=16, budget=budget)
+        order_exact, cols_exact, _ = self._run(estimate=self.S_BIG)
+        assert cols_small == cols_exact
+        assert order_small == order_exact
+
+
+# ---------------------------------------------------------------------------
+# partition_count policy decision
+# ---------------------------------------------------------------------------
+class TestPartitionCountPolicy:
+    def test_no_budget_means_one_partition(self):
+        assert plan_partition_count(10_000, 100, None) == 1
+
+    def test_fitting_footprint_stays_resident(self):
+        # 10 rows * 100 bytes * 1.2 fudge = 1200 <= 10000
+        assert plan_partition_count(10, 100, 10_000) == 1
+
+    def test_fudge_boundary(self):
+        # 11 * 100 * 1.2 = 1320 exactly
+        assert plan_partition_count(11, 100, 1320) == 1
+        assert plan_partition_count(11, 100, 1319) == 2
+
+    def test_grace_fanout_is_ceiling_division(self):
+        # 100 * 100 * 1.2 = 12000 -> ceil(12000 / 5000) = 3
+        assert plan_partition_count(100, 100, 5_000) == 3
+
+    def test_fanout_clamps_to_max(self):
+        assert plan_partition_count(1_000_000, 100, 1) == MAX_PARTITIONS
+
+    def test_static_policy_trusts_the_estimate(self):
+        stats = RuntimeStatsCollector()
+        stats.observe_cardinality("card:S", 10_000)   # ignored by static
+        assert AdaptivePolicy().partition_count("card:S", 10, 100, 2_000,
+                                                stats) == 1
+
+    def test_greedy_policy_prefers_the_observation(self):
+        stats = RuntimeStatsCollector()
+        greedy = GreedyRankPolicy()
+        # Cold: no observation yet, fall back to the estimate.
+        assert greedy.partition_count("card:S", 10, 100, 2_000, stats) == 1
+        # Warm: the observed build is 20x the estimate.
+        stats.observe_cardinality("card:S", 200)
+        assert (greedy.partition_count("card:S", 10, 100, 2_000, stats)
+                == plan_partition_count(200, 100, 2_000) == 12)
+
+
+# ---------------------------------------------------------------------------
+# Config-level validation of the knob
+# ---------------------------------------------------------------------------
+class TestBudgetValidation:
+    def test_budget_requires_the_vectorized_engine(self):
+        with pytest.raises(ValueError, match="vectorized"):
+            ExecutionConfig(engine="tuple", memory_budget_bytes=1_000)
+
+    def test_budget_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ExecutionConfig(engine="vectorized", memory_budget_bytes=0)
+
+    def test_none_budget_is_always_valid(self):
+        assert ExecutionConfig(engine="tuple").memory_budget_bytes is None
