@@ -102,6 +102,13 @@ ADAPTIVE_KINDS = {
 #: The configuration whose wall clock the perf acceptance criteria track.
 HEADLINE = ("vectorized", "pax", "SRS")
 
+#: Kernel backend(s) each grid cell is measured under.  Cells record the
+#: *requested* knob value (plus the backend it resolved to), so a baseline
+#: recorded with numpy installed still gates a numpy-less run: ``auto``
+#: matches ``auto`` and the simulated cycles are backend-identical by
+#: design.  Old baselines without the field compare as ``auto`` cells.
+DEFAULT_KERNEL_BACKENDS = ("auto",)
+
 
 def make_runner(scale: Optional[float], parallelism: int = 1) -> ExperimentRunner:
     micro = MicroWorkloadConfig() if scale is None else MicroWorkloadConfig(scale=scale)
@@ -138,7 +145,9 @@ def budget_for(kind: str, s_bytes: int) -> Optional[int]:
 
 
 def measure_cell(runner: ExperimentRunner, engine: str, layout: str, kind: str,
-                 repeat: int, adaptivity: str = "off") -> dict:
+                 repeat: int, adaptivity: str = "off",
+                 kernel_backend: str = "auto",
+                 profile: bool = False) -> dict:
     """Best-of-``repeat`` wall clock against the cached warmed build.
 
     Every run rolls the shared build's address space back to its post-build
@@ -155,6 +164,7 @@ def measure_cell(runner: ExperimentRunner, engine: str, layout: str, kind: str,
         "adaptive_batching": adaptive_on and knobs.get("adaptive_batching",
                                                        False),
         "batch_size": knobs.get("batch_size"),
+        "kernel_backend": kernel_backend,
     }
     budget = None
     if kind.startswith("SJB"):
@@ -173,16 +183,27 @@ def measure_cell(runner: ExperimentRunner, engine: str, layout: str, kind: str,
     # the spilling join's page-I/O schedule depends on ingest order, and a
     # serial session keeps the charged cycles deterministic.
     parallelism = 1 if (adaptivity != "off" or kind.startswith("SJB")) else None
+    resolved_backend = None
+    breakdown = None
     for _ in range(max(repeat, 1)):
+        setup_start = time.perf_counter()
         with runner.grid_session(engine, layout, adaptivity=adaptivity,
                                  parallelism=parallelism,
                                  **session_kwargs) as session:
+            resolved_backend = session.context.kernels.name
+            setup_seconds = time.perf_counter() - setup_start
             start = time.perf_counter()
             result = session.execute(query, warmup_runs=warmup_runs)
             elapsed = time.perf_counter() - start
             run_io = dict(session.context.io_stats)
         if best is None or elapsed < best:
             best = elapsed
+            if profile:
+                # The measured execute() includes the cell's warm-up runs
+                # (their count is recorded so the share is interpretable).
+                breakdown = {"session_setup_seconds": round(setup_seconds, 6),
+                             "execute_seconds": round(elapsed, 6),
+                             "warmup_runs": warmup_runs}
         run_cycles = result.counters.get("CPU_CLK_UNHALTED")
         if cycles is not None and (run_cycles != cycles or result.rows != rows):
             raise AssertionError(
@@ -195,10 +216,14 @@ def measure_cell(runner: ExperimentRunner, engine: str, layout: str, kind: str,
         io_stats = run_io
     point = {"engine": engine, "layout": layout, "query": kind,
              "adaptivity": adaptivity,
+             "kernel_backend": kernel_backend,
+             "resolved_kernel_backend": resolved_backend,
              "wall_seconds": round(best, 6), "cycles": cycles,
              "branch_mispredictions": counters.get("BR_MISS_PRED_RETIRED"),
              "result_rows": rows,
              "_counters": counters}
+    if breakdown is not None:
+        point["profile"] = breakdown
     if kind.startswith("SJB"):
         point["memory_budget_bytes"] = budget
         point["io_stats"] = io_stats
@@ -208,19 +233,22 @@ def measure_cell(runner: ExperimentRunner, engine: str, layout: str, kind: str,
 #: Runner inherited by forked grid workers.
 _BENCH_RUNNER: Optional[ExperimentRunner] = None
 _BENCH_REPEAT = 1
+_BENCH_PROFILE = False
 
 
-def _measure_cell_task(cell: Tuple[str, str, str, str]) -> dict:
-    engine, layout, kind, adaptivity = cell
+def _measure_cell_task(cell: Tuple[str, str, str, str, str]) -> dict:
+    engine, layout, kind, adaptivity, backend = cell
     point = measure_cell(_BENCH_RUNNER, engine, layout, kind,
-                         repeat=_BENCH_REPEAT, adaptivity=adaptivity)
+                         repeat=_BENCH_REPEAT, adaptivity=adaptivity,
+                         kernel_backend=backend, profile=_BENCH_PROFILE)
     point["_counters"] = point["_counters"].as_dict()
     return point
 
 
-def grid_cells() -> List[Tuple[str, str, str, str]]:
+def grid_cells(kernel_backends: Tuple[str, ...] = DEFAULT_KERNEL_BACKENDS
+               ) -> List[Tuple[str, str, str, str, str]]:
     """The 12 engine x layout x query cells plus the adaptivity and
-    memory-budget sweep cells."""
+    memory-budget sweep cells, each measured per kernel backend."""
     cells = [(engine, layout, kind, "off") for engine in ENGINES
              for layout in LAYOUTS for kind in QUERY_KINDS]
     cells.extend(("vectorized", layout, kind, mode)
@@ -228,19 +256,22 @@ def grid_cells() -> List[Tuple[str, str, str, str]]:
                  for layout in LAYOUTS for mode in ADAPTIVE_MODES)
     cells.extend(("vectorized", layout, kind, "off")
                  for layout in LAYOUTS for kind in BUDGET_KINDS)
-    return cells
+    return [cell + (backend,) for backend in kernel_backends for cell in cells]
 
 
-def run_grid(runner: ExperimentRunner, repeat: int, grid_workers: int) -> List[dict]:
+def run_grid(runner: ExperimentRunner, repeat: int, grid_workers: int,
+             kernel_backends: Tuple[str, ...] = DEFAULT_KERNEL_BACKENDS,
+             profile: bool = False) -> List[dict]:
     """Measure all grid cells, serially or via a fork-based process pool."""
-    cells = grid_cells()
+    cells = grid_cells(kernel_backends)
     if grid_workers > 1 and not fork_available():
         grid_workers = 1
     if grid_workers <= 1:
         points = []
-        for engine, layout, kind, adaptivity in cells:
+        for engine, layout, kind, adaptivity, backend in cells:
             point = measure_cell(runner, engine, layout, kind, repeat=repeat,
-                                 adaptivity=adaptivity)
+                                 adaptivity=adaptivity, kernel_backend=backend,
+                                 profile=profile)
             point["_counters"] = point["_counters"].as_dict()
             points.append(point)
         return points
@@ -250,8 +281,8 @@ def run_grid(runner: ExperimentRunner, repeat: int, grid_workers: int) -> List[d
         runner.grid_database(layout)
     import multiprocessing
     from concurrent.futures import ProcessPoolExecutor
-    global _BENCH_RUNNER, _BENCH_REPEAT
-    _BENCH_RUNNER, _BENCH_REPEAT = runner, repeat
+    global _BENCH_RUNNER, _BENCH_REPEAT, _BENCH_PROFILE
+    _BENCH_RUNNER, _BENCH_REPEAT, _BENCH_PROFILE = runner, repeat, profile
     try:
         with ProcessPoolExecutor(
                 max_workers=min(grid_workers, len(cells)),
@@ -269,11 +300,14 @@ def merged_grid_counters(points: List[dict]) -> EventCounters:
     return total
 
 
-def _cell_key(point: dict) -> Tuple[str, str, str, str]:
+def _cell_key(point: dict) -> Tuple[str, str, str, str, str]:
     """Identity of one grid cell; old baselines without the adaptivity
-    field compare as ``"off"`` cells."""
+    (resp. kernel_backend) field compare as ``"off"`` (resp. ``"auto"``)
+    cells -- the backend key records the *requested* knob, so a baseline
+    recorded with numpy installed still matches a numpy-less run."""
     return (point["engine"], point["layout"], point["query"],
-            point.get("adaptivity", "off"))
+            point.get("adaptivity", "off"),
+            point.get("kernel_backend", "auto"))
 
 
 def _cell_name(point: dict) -> str:
@@ -281,6 +315,9 @@ def _cell_name(point: dict) -> str:
     adaptivity = point.get("adaptivity", "off")
     if adaptivity != "off":
         name += f"/{adaptivity}"
+    backend = point.get("kernel_backend", "auto")
+    if backend != "auto":
+        name += f"/{backend}"
     return name
 
 
@@ -296,11 +333,18 @@ def adaptivity_summary(points: List[dict]) -> Dict[str, dict]:
     ``"<kind>/<layout>"``.
     """
     by_key = {_cell_key(p): p for p in points}
+    backends = list(dict.fromkeys(p.get("kernel_backend", "auto")
+                                  for p in points))
     summary: Dict[str, dict] = {}
     for kind in ADAPTIVE_KINDS:
         for layout in LAYOUTS:
-            static = by_key.get(("vectorized", layout, kind, "static"))
-            greedy = by_key.get(("vectorized", layout, kind, "greedy"))
+            for backend in backends:
+                static = by_key.get(("vectorized", layout, kind, "static",
+                                     backend))
+                greedy = by_key.get(("vectorized", layout, kind, "greedy",
+                                     backend))
+                if static is not None and greedy is not None:
+                    break
             if static is None or greedy is None:
                 continue
             label = layout if kind == "ACS" else f"{kind}/{layout}"
@@ -331,10 +375,12 @@ def budget_identity_violations(points: List[dict]) -> List[str]:
     and are gated only against their own baselines by ``--compare-to``.
     """
     by_key = {_cell_key(p): p for p in points}
+    backends = dict.fromkeys(p.get("kernel_backend", "auto") for p in points)
     violations: List[str] = []
-    for layout in LAYOUTS:
-        inf = by_key.get(("vectorized", layout, "SJB-inf", "off"))
-        plain = by_key.get(("vectorized", layout, "SJ", "off"))
+    pairs = [(layout, backend) for layout in LAYOUTS for backend in backends]
+    for layout, backend in pairs:
+        inf = by_key.get(("vectorized", layout, "SJB-inf", "off", backend))
+        plain = by_key.get(("vectorized", layout, "SJ", "off", backend))
         if inf is None or plain is None:
             continue
         if inf["cycles"] != plain["cycles"]:
@@ -366,7 +412,7 @@ def compare_to_baseline(points: List[dict], baseline: dict,
     """
     baseline_points = {_cell_key(c): c for c in baseline.get("configs", ())}
     lines = [f"{'cell':>30s} {'wall before':>12s} {'wall after':>11s} "
-             f"{'speedup':>8s}  cycles"]
+             f"{'wall_speedup_vs_baseline':>24s}  cycles"]
     violations: List[str] = []
     speedups: Dict[str, dict] = {}
     for point in points:
@@ -375,7 +421,7 @@ def compare_to_baseline(points: List[dict], baseline: dict,
         before = baseline_points.get(key)
         if before is None:
             lines.append(f"{name:>30s} {'-':>12s} {point['wall_seconds']:>11.3f} "
-                         f"{'new':>8s}  {point['cycles']:,}")
+                         f"{'new':>24s}  {point['cycles']:,}")
             continue
         wall_before = before["wall_seconds"]
         wall_after = point["wall_seconds"]
@@ -383,13 +429,15 @@ def compare_to_baseline(points: List[dict], baseline: dict,
         cycles_match = before["cycles"] == point["cycles"]
         cycle_note = "identical" if cycles_match else (
             f"CHANGED {before['cycles']:,} -> {point['cycles']:,}")
-        speedup_note = f"{speedup:>7.2f}x" if speedup is not None else f"{'-':>8s}"
+        speedup_note = (f"{speedup:>23.2f}x" if speedup is not None
+                        else f"{'-':>24s}")
         lines.append(f"{name:>30s} {wall_before:>12.3f} {wall_after:>11.3f} "
                      f"{speedup_note}  {cycle_note}")
         speedups[name] = {
             "before_wall_seconds": wall_before,
             "after_wall_seconds": wall_after,
             "speedup": round(speedup, 3) if speedup else None,
+            "wall_speedup_vs_baseline": round(speedup, 3) if speedup else None,
             "cycles_before": before["cycles"],
             "cycles_after": point["cycles"],
         }
@@ -439,7 +487,17 @@ def main() -> int:
     parser.add_argument("--out-dir", default=None,
                         help="directory for BENCH_<stamp>.json "
                              "(default: benchmarks/results/, gitignored)")
+    parser.add_argument("--kernel-backends", default="auto",
+                        help="comma-separated kernel_backend values each grid "
+                             "cell is measured under (auto, python, array; "
+                             "default: auto)")
+    parser.add_argument("--profile", action="store_true",
+                        help="record a per-cell wall breakdown (session setup "
+                             "vs measured execute) in each cell and print it")
     args = parser.parse_args()
+    kernel_backends = tuple(
+        backend.strip() for backend in args.kernel_backends.split(",")
+        if backend.strip()) or DEFAULT_KERNEL_BACKENDS
 
     grid_start = time.perf_counter()
     runner = make_runner(args.scale, parallelism=args.parallelism)
@@ -448,7 +506,8 @@ def main() -> int:
         runner.grid_database(layout)
     build_seconds = time.perf_counter() - build_start
 
-    points = run_grid(runner, args.repeat, args.grid_workers)
+    points = run_grid(runner, args.repeat, args.grid_workers,
+                      kernel_backends=kernel_backends, profile=args.profile)
     for point in points:
         line = (f"{_cell_name(point):>26}: {point['wall_seconds']:.3f}s wall, "
                 f"{point['cycles']:,} simulated cycles, "
@@ -458,6 +517,12 @@ def main() -> int:
             line += (f", budget={budget if budget is not None else 'inf'}, "
                      f"{point['io_stats']['page_reads']} page reads, "
                      f"{point['io_stats']['page_writes']} page writes")
+        if "profile" in point:
+            breakdown = point["profile"]
+            line += (f" [setup {breakdown['session_setup_seconds']:.3f}s, "
+                     f"execute {breakdown['execute_seconds']:.3f}s"
+                     + (f" incl. {breakdown['warmup_runs']} warmup"
+                        if breakdown["warmup_runs"] else "") + "]")
         print(line)
     grid_wall = time.perf_counter() - grid_start
 
@@ -479,6 +544,7 @@ def main() -> int:
         "system": SYSTEM_B.key,
         "grid_workers": args.grid_workers,
         "parallelism": args.parallelism,
+        "kernel_backends": list(kernel_backends),
         "grid_wall_seconds": round(grid_wall, 3),
         "db_build_seconds": round(build_seconds, 3),
         "db_builds": len(LAYOUTS),

@@ -10,7 +10,10 @@ full PAX breakdown affordable -- the "PAX everywhere" slice of ROADMAP.md.
 
 ``--figures adaptivity`` additionally prints the adaptive
 conjunct-reordering experiment (static vs greedy vs epsilon orderings of
-the skewed 3-conjunct selection, measured on the simulated branch unit).
+the skewed 3-conjunct selection, measured on the simulated branch unit),
+and ``--figures adaptive-joins`` the adaptive join-side selection
+experiment (the skewed build-side misestimate, measured on the memory
+hierarchy).
 
 Usage::
 
@@ -30,10 +33,11 @@ import time
 sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
 
 from repro.experiments import ExperimentConfig, ExperimentRunner
-from repro.experiments.figures import figure_5_1, figure_5_2, figure_adaptivity
+from repro.experiments.figures import (figure_5_1, figure_5_2,
+                                       figure_adaptive_joins, figure_adaptivity)
 from repro.workloads.micro import MicroWorkloadConfig
 
-FIGURES = ("5.1", "5.2", "adaptivity")
+FIGURES = ("5.1", "5.2", "adaptivity", "adaptive-joins")
 
 
 def main() -> int:
@@ -59,8 +63,11 @@ def main() -> int:
             result = figure_5_1(runner, layouts=args.layouts)
         elif name == "5.2":
             result = figure_5_2(runner, layouts=args.layouts)
-        else:
+        elif name == "adaptivity":
             result = figure_adaptivity(
+                runner, layouts=tuple(args.layouts or ("nsm", "pax")))
+        else:
+            result = figure_adaptive_joins(
                 runner, layouts=tuple(args.layouts or ("nsm", "pax")))
         print(result.text)
         print()

@@ -175,6 +175,8 @@ class AdaptiveExecution:
         """
         plan = self.plan_for(predicate)
         order = self.policy.order(plan.keys, plan.costs, self.collector)
+        kernels = getattr(ctx, "kernels", None)
+        gather = kernels.gather if kernels is not None else None
         positions: List[int] = list(range(count))
         for conjunct_index in order:
             if not positions:
@@ -188,17 +190,25 @@ class AdaptiveExecution:
                 # While every row survives (the first conjunct in the
                 # order), the original vectors can be read directly --
                 # evaluate_batch never mutates them.
-                sub_columns[name] = (vector if survivors_count == count
-                                     else [vector[i] for i in positions])
-            outcomes = conjunct.evaluate_batch(sub_columns, survivors_count)
+                if survivors_count == count:
+                    sub_columns[name] = vector
+                elif gather is not None:
+                    sub_columns[name] = gather(vector, positions)
+                else:
+                    sub_columns[name] = [vector[i] for i in positions]
+            outcomes = conjunct.evaluate_batch(sub_columns, survivors_count,
+                                               kernels)
             # One batched routine visit plus one data branch per surviving
             # row, at a site that identifies the *conjunct* (not its current
             # position), so predictor state follows the conjunct across
             # reorderings.
             ctx.visit_conjunct_batch(PREDICATE_OPERATION, outcomes,
                                      site=conjunct_index, key=key)
-            survivors = [position for position, passed
-                         in zip(positions, outcomes) if passed]
+            if kernels is not None:
+                survivors = kernels.select(positions, outcomes)
+            else:
+                survivors = [position for position, passed
+                             in zip(positions, outcomes) if passed]
             ctx.observe_conjuncts(key, len(positions), len(survivors))
             positions = survivors
         mask = [False] * count

@@ -22,6 +22,7 @@ from ..analysis.metrics import QueryMetrics, compute_metrics
 from ..execution.code_layout import CodeLayout
 from ..execution.context import ExecutionContext
 from ..execution.executor import execute_plan, execute_update
+from ..execution.kernels import resolve_kernels
 from ..execution.parallel import ParallelExecution
 from ..hardware.counters import EventCounters
 from ..hardware.os_interference import OSInterferenceConfig
@@ -31,8 +32,9 @@ from ..hardware.specs import PENTIUM_II_XEON, ProcessorSpec
 from ..adaptive import AdaptiveExecution
 from ..query.planner import Planner
 from ..query.plans import (ADAPTIVITY_OFF, CHARGE_SPAN, DEFAULT_BATCH_SIZE,
-                           ENGINE_TUPLE, ExecutionConfig, LogicalQuery,
-                           PhysicalPlan, UpdatePlan, UpdateQuery, describe_plan)
+                           ENGINE_TUPLE, KERNEL_BACKEND_AUTO, ExecutionConfig,
+                           LogicalQuery, PhysicalPlan, UpdatePlan, UpdateQuery,
+                           describe_plan)
 from ..systems.profile import SystemProfile
 from .database import Database
 
@@ -85,7 +87,8 @@ class Session:
                  adaptivity: str = ADAPTIVITY_OFF,
                  adaptive_joins: bool = False,
                  adaptive_batching: bool = False,
-                 memory_budget_bytes: Optional[int] = None) -> None:
+                 memory_budget_bytes: Optional[int] = None,
+                 kernel_backend: str = KERNEL_BACKEND_AUTO) -> None:
         """``parallelism=N`` (N > 1) enables the morsel-parallel exchange
         for vectorized sequential scans: page morsels are produced by N
         workers (``parallel_backend="process"`` forks a pool inheriting the
@@ -114,6 +117,16 @@ class Session:
         I/O cost model.  ``None`` (default) keeps the fully memory-resident
         join, bit-identical to previous releases; result rows, row order
         and column order are identical at every budget.
+
+        ``kernel_backend`` selects the data-plane kernel implementation the
+        vectorized operators compute with (:mod:`repro.execution.kernels`):
+        ``"python"`` (pure-Python loops, zero dependencies), ``"array"``
+        (numpy bulk operations; requires the ``[fast]`` extra) or ``"auto"``
+        (default: ``array`` when numpy is importable, else ``python`` with
+        a one-time warning).  Kernels only transform plain data -- they
+        never touch the simulated hardware -- so result rows, row/column
+        order and every simulated count are identical across backends; only
+        host wall-clock time differs.
         """
         self.database = database
         self.profile = profile
@@ -129,12 +142,14 @@ class Session:
                                                          adaptivity=adaptivity,
                                                          adaptive_joins=adaptive_joins,
                                                          adaptive_batching=adaptive_batching,
-                                                         memory_budget_bytes=memory_budget_bytes))
+                                                         memory_budget_bytes=memory_budget_bytes,
+                                                         kernel_backend=kernel_backend))
         self.code_layout = CodeLayout(profile, database.address_space)
         self.context = ExecutionContext(self.processor, profile,
                                         database.address_space,
                                         code_layout=self.code_layout,
-                                        charge_mode=charge_mode)
+                                        charge_mode=charge_mode,
+                                        kernels=resolve_kernels(kernel_backend))
         self.context.memory_budget_bytes = memory_budget_bytes
         self.adaptive: Optional[AdaptiveExecution] = None
         if adaptivity != ADAPTIVITY_OFF:

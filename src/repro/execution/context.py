@@ -43,8 +43,10 @@ The context also owns two cross-cutting concerns of the columnar engine:
 
 from __future__ import annotations
 
+import struct
 from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
 
+from ..hardware.cache import _NATIVE
 from ..hardware.processor import SimulatedProcessor
 from ..query.plans import CHARGE_MODES, CHARGE_SPAN
 from ..storage.address_space import AddressSpace
@@ -55,15 +57,26 @@ from ..systems.profile import (ACCESS_FIELDS_ONLY, BRANCH_KIND_ALTERNATING,
                                BRANCH_KIND_COLD, BRANCH_KIND_DATA, BRANCH_KIND_LOOP,
                                BRANCH_KIND_RARE, SystemProfile)
 from .code_layout import CodeLayout, CodeSegment, LINE_BYTES
+from .kernels import PYTHON_KERNELS
 from .resolve import _columns_for_table, _index_for
 
 #: Knuth multiplicative-hash constant used for deterministic pseudo-random
 #: branch outcomes (the simulation must be reproducible run to run).
 _HASH_CONSTANT = 2654435761
 
+#: Branch-site kind codes for the native visit fast path (``_cachesim.c``
+#: resolves site outcomes itself; the codes mirror ``BRANCH_KIND_*``).
+_NATIVE_KIND_CODES = {BRANCH_KIND_LOOP: 0, BRANCH_KIND_DATA: 1,
+                      BRANCH_KIND_ALTERNATING: 2, BRANCH_KIND_RARE: 3,
+                      BRANCH_KIND_COLD: 4}
+
 
 def _consecutive_runs(slots: Sequence[int]) -> Iterable[Sequence[int]]:
     """Split an ascending slot list into maximal consecutive runs."""
+    count = len(slots)
+    if count and slots[count - 1] - slots[0] == count - 1:
+        yield slots  # a single consecutive run -- the common full-scan case
+        return
     start = 0
     for position in range(1, len(slots)):
         if slots[position] != slots[position - 1] + 1:
@@ -80,7 +93,8 @@ class ExecutionContext:
                  profile: SystemProfile,
                  address_space: AddressSpace,
                  code_layout: Optional[CodeLayout] = None,
-                 charge_mode: str = CHARGE_SPAN) -> None:
+                 charge_mode: str = CHARGE_SPAN,
+                 kernels=None) -> None:
         if charge_mode not in CHARGE_MODES:
             raise ValueError(f"unknown charge mode {charge_mode!r}; "
                              f"expected one of {CHARGE_MODES}")
@@ -88,6 +102,12 @@ class ExecutionContext:
         self.profile = profile
         self.address_space = address_space
         self.layout = code_layout or CodeLayout(profile, address_space)
+        #: Data-plane kernel backend (:mod:`repro.execution.kernels`) the
+        #: vectorized operators compute with.  Kernels never charge the
+        #: simulated hardware -- they only transform plain data -- so the
+        #: choice is invisible to every simulated counter.  ``None`` (the
+        #: default) selects the pure-Python backend.
+        self.kernels = kernels if kernels is not None else PYTHON_KERNELS
         #: ``span`` presents vector touches to the hardware as bulk
         #: operations; ``per_address`` probes one address at a time.  Both
         #: modes generate the same trace, so every cache/TLB hit and miss
@@ -161,6 +181,30 @@ class ExecutionContext:
         # schema set/loop work of ``_columns_for_table`` re-runs per batch.
         self._columns_cache: Dict[Tuple[str, Tuple[str, ...]], Tuple[str, ...]] = {}
         self._index_cache: Dict[Tuple[str, str], object] = {}
+
+        # Native visit fast path (``_cachesim.c``): the whole of
+        # ``_visit_segment`` / ``_touch_workspace`` runs as one C call over
+        # the live hardware state, count- and state-identical to the Python
+        # code (asserted by tests/test_native_charging.py).  Eligible only
+        # when the native module loaded, the processor built its state block,
+        # no OS-interference model is attached (``charge_routine`` must run
+        # its interrupt hook), span charging is on (``per_address`` stays a
+        # pure-Python oracle of the span contract) and the workspace geometry
+        # is non-degenerate.  Segment handles (plain-data views of
+        # ``CodeSegment``) are built lazily per operation; ``False`` marks a
+        # segment whose cold slice wraps the whole pool (Python fallback).
+        self._segment_handles: Dict[str, object] = {}
+        self._native_ctx = None
+        if (_NATIVE is not None
+                and getattr(processor, "_native_state", None) is not None
+                and processor.os is None
+                and self._span_charging
+                and 0 < self._workspace_stride < self._workspace_size):
+            self._native_ctx = _NATIVE.pack_ctx(
+                self, processor._native_state, self.workspace_base,
+                self._workspace_stride, self._workspace_size,
+                self.layout.cold_pool_base, self.layout.cold_pool_lines,
+                self._site_state, LINE_BYTES)
 
     # ------------------------------------------------------------ resolution
     def columns_for_table(self, table: Table, columns: Sequence[str]) -> Tuple[str, ...]:
@@ -265,19 +309,29 @@ class ExecutionContext:
             base = self._conjunct_sites_base = self.address_space.allocate(
                 "code", 4096, alignment=64)
         address = base + ((site & 0xFF) << 4)
-        branch_unit = self.processor.branch_unit
-        btb_before = branch_unit.stats.btb_misses
-        taken = mispredictions = 0
-        execute = branch_unit.execute
-        for outcome in outcomes:
-            outcome = bool(outcome)
-            if execute(address, outcome):
-                mispredictions += 1
-            if outcome:
-                taken += 1
-        self.processor.count_branches(
-            count, taken=taken, mispredictions=mispredictions,
-            btb_misses=branch_unit.stats.btb_misses - btb_before)
+        native_state = getattr(self.processor, "_native_state", None)
+        if native_state is not None:
+            # Native per-row branch loop (predictor state, stats and
+            # counter folds identical to the Python loop below).
+            taken, mispredictions, btb_misses = _NATIVE.conjunct(
+                native_state, address, outcomes)
+            self.processor.count_branches(count, taken=taken,
+                                          mispredictions=mispredictions,
+                                          btb_misses=btb_misses)
+        else:
+            branch_unit = self.processor.branch_unit
+            btb_before = branch_unit.stats.btb_misses
+            taken = mispredictions = 0
+            execute = branch_unit.execute
+            for outcome in outcomes:
+                outcome = bool(outcome)
+                if execute(address, outcome):
+                    mispredictions += 1
+                if outcome:
+                    taken += 1
+            self.processor.count_branches(
+                count, taken=taken, mispredictions=mispredictions,
+                btb_misses=branch_unit.stats.btb_misses - btb_before)
         if key is not None and self.adaptive is not None:
             self.adaptive.collector.observe_branches(key, count, taken,
                                                      mispredictions)
@@ -314,6 +368,16 @@ class ExecutionContext:
         return dict(self.op_invocations)
 
     def _visit_segment(self, segment: CodeSegment, data_taken: Optional[bool]) -> None:
+        ctx_state = self._native_ctx
+        if ctx_state is not None:
+            handle = self._segment_handles.get(segment.name)
+            if handle is None:
+                handle = self._native_segment_handle(segment)
+                self._segment_handles[segment.name] = handle
+            if handle is not False:
+                _NATIVE.visit(ctx_state, handle,
+                              -1 if data_taken is None else int(bool(data_taken)))
+                return
         processor = self.processor
         self._visit_counter += 1
 
@@ -397,6 +461,9 @@ class ExecutionContext:
         """
         if touches <= 0:
             return
+        if self._native_ctx is not None:
+            _NATIVE.workspace(self._native_ctx, touches)
+            return
         processor = self.processor
         stride = self._workspace_stride
         size = self._workspace_size
@@ -415,6 +482,32 @@ class ExecutionContext:
             processor.data_read(self.workspace_base + cursor, 4)
             cursor = (cursor + stride) % size
         self._workspace_cursor = cursor
+
+    def _native_segment_handle(self, segment: CodeSegment):
+        """Plain-data view of ``segment`` for the native visit fast path.
+
+        ``False`` marks a segment the native path must not handle (its cold
+        slice wraps the whole pool, which takes the generic per-line fetch).
+        The bulk-branch misprediction expectation is pre-multiplied: the
+        product is the same float the Python path computes each visit, so
+        the fractional carry evolves bit-identically.
+        """
+        cold = segment.cold_lines_per_visit
+        if cold and cold >= self.layout.cold_pool_lines:
+            return False
+        stall_ints = segment.stall_ints
+        profile = self.profile
+        bulk = segment.bulk_branches
+        sites = tuple((_NATIVE_KIND_CODES[site.kind], site.address, site.weight)
+                      for site in segment.branch_sites)
+        return _NATIVE.pack_segment(
+            (segment.base_address, len(segment.hot_lines), cold,
+             segment.instructions, segment.uops, segment.data_refs,
+             stall_ints[0], stall_ints[1], stall_ints[2], stall_ints[3],
+             segment.workspace_touches, bulk, segment.bulk_taken,
+             bulk * profile.bulk_branch_misprediction_rate,
+             int(round(bulk * profile.bulk_branch_btb_miss_rate)),
+             sites))
 
     def _next_cold_lines(self, count: int) -> Tuple[int, ...]:
         base = self.layout.cold_pool_base
@@ -473,9 +566,13 @@ class ExecutionContext:
     def page_io_out(self, address: int, nbytes: int) -> None:
         """Charge one page write-back to the backing store at ``address``."""
         self.visit("page_boundary")
-        processor = self.processor
-        for offset in range(0, nbytes, LINE_BYTES):
-            processor.data_write(address + offset, LINE_BYTES)
+        lines = (nbytes + LINE_BYTES - 1) // LINE_BYTES
+        if self._span_charging and lines > 1:
+            self.processor.data_write_strided(address, LINE_BYTES, lines, LINE_BYTES)
+        else:
+            processor = self.processor
+            for offset in range(0, nbytes, LINE_BYTES):
+                processor.data_write(address + offset, LINE_BYTES)
         self.io_stats["page_writes"] += 1
         self.io_stats["bytes_written"] += nbytes
 
@@ -517,9 +614,23 @@ class ExecutionContext:
             self._touch_pax_record(entry, layout, processor.data_read)
         else:
             processor.data_read(entry.address, layout.record_size)
-        view = entry.page.record_view(entry.slot)
-        data = bytes(view[:layout.packed_size])
-        return {column: layout.decode_column(data, column) for column in columns}
+        page, slot = entry.page, entry.slot
+        if columnar:
+            # PAX rows are not contiguous; decode straight from the
+            # minipages instead of materialising an NSM record image.
+            return {column: page.column_values(column, (slot,))[0]
+                    for column in columns}
+        view = page.record_view(slot)
+        codecs = layout.column_codecs
+        out = {}
+        for column in columns:
+            offset, code, width = codecs[column]
+            if code is None:
+                raw = bytes(view[offset:offset + width])
+                out[column] = raw.rstrip(b"\x00").decode(errors="replace")
+            else:
+                out[column] = struct.unpack_from(code, view, offset)[0]
+        return out
 
     def read_record(self, entry: ScanEntry, layout: RecordLayout) -> Tuple:
         """Access the full record and decode every column (OLTP paths)."""
@@ -576,6 +687,9 @@ class ExecutionContext:
                     processor.data_read(page.field_address(slot, offset), width)
             return page.column_values(column, slots)
         self._charge_nsm_stride(page, slots, offset, width, layout.record_size)
+        field_offset, code, _width = layout.column_codecs[column]
+        if code is not None:
+            return page.field_values(field_offset, code, slots)
         packed = layout.packed_size
         decode = layout.decode_column
         return [decode(bytes(page.record_view(slot)[:packed]), column)
@@ -604,6 +718,11 @@ class ExecutionContext:
                     for column in columns}
         record_size = layout.record_size
         self._charge_nsm_stride(page, slots, 0, record_size, record_size)
+        codecs = layout.column_codecs
+        if all(codecs[column][1] is not None for column in columns):
+            return {column: page.field_values(codecs[column][0],
+                                              codecs[column][1], slots)
+                    for column in columns}
         packed = layout.packed_size
         decode = layout.decode_column
         out: Dict[str, list] = {column: [] for column in columns}

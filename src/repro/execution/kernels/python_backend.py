@@ -1,0 +1,119 @@
+"""The pure-Python kernel backend: the engine's original inner loops.
+
+Every method body here is the loop the vectorized operators ran inline
+before the kernel split -- extracted verbatim, not rewritten -- so this
+backend is simultaneously the zero-dependency fallback and the oracle the
+differential suite (``tests/test_kernels.py``) compares the ``array``
+backend against.  It imports nothing from the rest of the package (or from
+anywhere beyond the stdlib), which is what lets
+:mod:`repro.query.expressions` reach it without an import cycle.
+
+The charging contract is enforced structurally: kernels receive only plain
+data (value vectors, masks, position lists, aggregate state) and return
+plain data.  No kernel ever sees an execution context, so no kernel can
+move, add or drop a simulated hardware charge -- backends can only differ
+in wall-clock time.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+__all__ = ["PythonKernels", "PYTHON_KERNELS", "spill_partition_of"]
+
+
+def spill_partition_of(key, level: int, count: int) -> int:
+    """Deterministic spill-partition assignment, salted by recursion level.
+
+    Runs ``hash(key)`` through a splitmix-style finalizer so the partition
+    choice is decorrelated both from the ``hash(key) % buckets`` bucket
+    choice (otherwise every resident partition would populate only a slice
+    of the shared bucket array) and across recursion levels (otherwise a
+    re-partitioned overflow would land every row in one sub-partition).
+    """
+    mixed = (hash(key) ^ ((level + 1) * 0x9E3779B97F4A7C15)) & 0xFFFFFFFFFFFFFFFF
+    mixed = ((mixed ^ (mixed >> 33)) * 0xFF51AFD7ED558CCD) & 0xFFFFFFFFFFFFFFFF
+    mixed ^= mixed >> 33
+    return mixed % count
+
+
+class PythonKernels:
+    """Data-plane kernels as plain Python loops (fallback and oracle)."""
+
+    name = "python"
+
+    # ------------------------------------------------------------ predicates
+    def compare_const(self, op, vector: Sequence, constant) -> List[bool]:
+        """``value OP constant`` per element, SQL-style ``None -> False``."""
+        apply = op.apply
+        return [apply(value, constant) for value in vector]
+
+    def between_const(self, vector: Sequence, low, high,
+                      include_low: bool, include_high: bool) -> List[bool]:
+        """``low < value < high`` (bounds optionally inclusive) per element."""
+        if include_low and include_high:
+            return [value is not None and low <= value <= high
+                    for value in vector]
+        if include_low:
+            return [value is not None and low <= value < high
+                    for value in vector]
+        if include_high:
+            return [value is not None and low < value <= high
+                    for value in vector]
+        return [value is not None and low < value < high
+                for value in vector]
+
+    def and_masks(self, masks: Sequence[Sequence[bool]]) -> List[bool]:
+        """Elementwise conjunction of equal-length boolean masks."""
+        return [all(values) for values in zip(*masks)]
+
+    def or_masks(self, masks: Sequence[Sequence[bool]]) -> List[bool]:
+        """Elementwise disjunction of equal-length boolean masks."""
+        return [any(values) for values in zip(*masks)]
+
+    def not_mask(self, mask: Sequence[bool]) -> List[bool]:
+        """Elementwise negation of a boolean mask."""
+        return [not value for value in mask]
+
+    # ----------------------------------------------------- selection vectors
+    def compact(self, mask: Sequence[bool]) -> List[int]:
+        """Positions of the set entries of a selection mask, ascending."""
+        return [position for position, passed in enumerate(mask) if passed]
+
+    def select(self, positions: Sequence[int],
+               outcomes: Sequence[bool]) -> List[int]:
+        """Filter a position list by parallel outcomes (adaptive conjuncts)."""
+        return [position for position, passed in zip(positions, outcomes)
+                if passed]
+
+    # --------------------------------------------------------------- gathers
+    def gather(self, vector: Sequence, positions: Sequence[int]) -> List:
+        """Values of ``vector`` at ``positions``, in position order."""
+        return [vector[position] for position in positions]
+
+    # --------------------------------------------------------------- hashing
+    def bucket_indices(self, keys: Sequence, buckets: int) -> List[int]:
+        """``hash(key) % buckets`` per key (hash-join bucket choice)."""
+        return [hash(key) % buckets for key in keys]
+
+    def spill_partitions(self, keys: Sequence, level: int,
+                         count: int) -> List[int]:
+        """Level-salted spill-partition index per key (grace/hybrid join)."""
+        return [spill_partition_of(key, level, count) for key in keys]
+
+    # ----------------------------------------------------------- aggregation
+    def fold(self, state, vector: Sequence) -> None:
+        """Fold a value vector into one aggregate accumulator, in row order."""
+        update = state.update
+        for value in vector:
+            update(value)
+
+    def fold_count(self, state, count: int) -> None:
+        """Fold ``count`` ``COUNT(*)`` rows into an aggregate accumulator."""
+        update = state.update
+        for _ in range(count):
+            update(1)
+
+
+#: Shared stateless instance -- the default wherever no backend was chosen.
+PYTHON_KERNELS = PythonKernels()

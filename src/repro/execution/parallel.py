@@ -53,6 +53,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..query.plans import CHARGE_SPAN
 from ..systems.profile import SystemProfile
+from .kernels import PYTHON_KERNELS
 
 __all__ = [
     "ChargeOp", "TapeRecorder", "MorselSpec", "MorselResult",
@@ -143,6 +144,11 @@ class TapeRecorder:
         #: the morsel; the recorded observation ops carry the same stats
         #: back to the parent's manager at replay time.
         self.adaptive = None
+        #: Data-plane kernels for the worker's operators.  Kernel choice is
+        #: invisible to results and charges, so workers always use the
+        #: dependency-free Python backend (a forked worker need not re-probe
+        #: numpy).
+        self.kernels = PYTHON_KERNELS
 
     # -- charge recording ---------------------------------------------------
     def visit(self, operation: str, data_taken: Optional[bool] = None,

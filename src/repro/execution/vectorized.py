@@ -52,12 +52,14 @@ from ..index.btree import BTreeIndex
 from ..storage.buffer_pool import BufferPool
 from ..storage.page import DEFAULT_PAGE_SIZE
 from ..query.expressions import Aggregate, AggregateState, Expression
-from ..query.plans import (AggregatePlan, ExecutionConfig, HashJoinPlan,
-                           IndexNestedLoopJoinPlan, IndexPointLookupPlan,
-                           IndexRangeScanPlan, JoinPlan, NestedLoopJoinPlan,
-                           PhysicalPlan, ScanPlan, SeqScanPlan, UpdatePlan)
+from ..query.plans import (KERNEL_BACKEND_AUTO, AggregatePlan, ExecutionConfig,
+                           HashJoinPlan, IndexNestedLoopJoinPlan,
+                           IndexPointLookupPlan, IndexRangeScanPlan, JoinPlan,
+                           NestedLoopJoinPlan, PhysicalPlan, ScanPlan,
+                           SeqScanPlan, UpdatePlan)
 from ..storage.catalog import Catalog, Table
 from .context import ExecutionContext
+from .kernels import PYTHON_KERNELS, resolve_kernels, spill_partition_of
 from .operators import HashJoinOperator, OperatorError, Row
 from .resolve import ExecutorError
 
@@ -126,15 +128,17 @@ class ColumnBatch:
         names = tuple(columns)
         return [dict(zip(names, values)) for values in zip(*columns.values())]
 
-    def gather(self, positions: Sequence[int]) -> "ColumnBatch":
+    def gather(self, positions: Sequence[int], kernels=None) -> "ColumnBatch":
         """New batch holding the given row positions (selection/compaction)."""
-        return ColumnBatch({name: [vector[i] for i in positions]
+        take = (kernels or PYTHON_KERNELS).gather
+        return ColumnBatch({name: take(vector, positions)
                             for name, vector in self.columns.items()},
                            len(positions))
 
 
 def merge_gather(left: ColumnBatch, left_positions: Sequence[int],
-                 right: ColumnBatch, right_positions: Sequence[int]) -> ColumnBatch:
+                 right: ColumnBatch, right_positions: Sequence[int],
+                 kernels=None) -> ColumnBatch:
     """Columnar equivalent of ``dict(left_row); .update(right_row)`` per pair.
 
     Output column order is the left batch's columns followed by the
@@ -145,11 +149,12 @@ def merge_gather(left: ColumnBatch, left_positions: Sequence[int],
     """
     if len(left_positions) != len(right_positions):
         raise OperatorError("merge_gather requires position lists of equal length")
+    take = (kernels or PYTHON_KERNELS).gather
     out: Dict[str, List] = {}
     for name, vector in left.columns.items():
-        out[name] = [vector[i] for i in left_positions]
+        out[name] = take(vector, left_positions)
     for name, vector in right.columns.items():
-        out[name] = [vector[i] for i in right_positions]
+        out[name] = take(vector, right_positions)
     return ColumnBatch(out, len(left_positions))
 
 
@@ -249,6 +254,7 @@ class VecSeqScanOperator(VectorOperator):
             pages = table.heap.scan_pages(*self.page_range)
         else:
             pages = table.heap.scan_pages()
+        kernels = ctx.kernels
         for page, slots in pages:
             ctx.visit("page_boundary")
             for chunk in _chunked(slots, self.batch_size):
@@ -260,12 +266,12 @@ class VecSeqScanOperator(VectorOperator):
                         mask = adaptive.evaluate_batch(ctx, predicate,
                                                        columns, count)
                     else:
-                        mask = predicate.evaluate_batch(columns, count)
-                    selected = [position for position in range(count)
-                                if mask[position]]
+                        mask = predicate.evaluate_batch(columns, count,
+                                                        kernels)
+                    selected = kernels.compact(mask)
                     if adaptive is None:
                         ctx.visit_batch("predicate", count)
-                    out_columns = {name: [vector[i] for i in selected]
+                    out_columns = {name: kernels.gather(vector, selected)
                                    for name, vector in columns.items()}
                 else:
                     selected = None
@@ -275,7 +281,7 @@ class VecSeqScanOperator(VectorOperator):
                 out_count = count if selected is None else len(selected)
                 if self.extra_columns and out_count:
                     selected_slots = (list(chunk) if selected is None
-                                      else [chunk[i] for i in selected])
+                                      else kernels.gather(chunk, selected))
                     out_columns.update(ctx.read_column_group_batch(
                         page, layout, selected_slots, self.extra_columns))
                 ctx.row_produced(out_count)
@@ -305,6 +311,7 @@ class VecSeqScanOperator(VectorOperator):
         layout = table.layout
         predicate = self.predicate
         names = self.predicate_columns
+        kernels = ctx.kernels
         policy = manager.policy
         collector = manager.collector
         pressure_key = f"scan:{table.name}"
@@ -330,11 +337,10 @@ class VecSeqScanOperator(VectorOperator):
                     mask = conjuncts.evaluate_batch(ctx, predicate, columns,
                                                     count)
                 else:
-                    mask = predicate.evaluate_batch(columns, count)
+                    mask = predicate.evaluate_batch(columns, count, kernels)
                     ctx.visit_batch("predicate", count)
-                selected = [position for position in range(count)
-                            if mask[position]]
-                out_columns = {name: [vector[i] for i in selected]
+                selected = kernels.compact(mask)
+                out_columns = {name: kernels.gather(vector, selected)
                                for name, vector in columns.items()}
             else:
                 selected = None
@@ -410,6 +416,7 @@ class VecFilterOperator(VectorOperator):
 
     def batches(self) -> Iterator[ColumnBatch]:
         ctx = self.ctx
+        kernels = ctx.kernels
         predicate = self.predicate
         adaptive = getattr(ctx, "adaptive", None)
         if adaptive is not None and not adaptive.applies(predicate):
@@ -422,11 +429,11 @@ class VecFilterOperator(VectorOperator):
                 mask = adaptive.evaluate_batch(ctx, predicate, batch.columns,
                                                len(batch))
             else:
-                mask = predicate.evaluate_batch(batch.columns, len(batch))
+                mask = predicate.evaluate_batch(batch.columns, len(batch),
+                                                kernels)
                 ctx.visit_batch("predicate", len(batch))
-            selected = [position for position in range(len(batch))
-                        if mask[position]]
-            kept = batch.gather(selected)
+            selected = kernels.compact(mask)
+            kept = batch.gather(selected, kernels)
             ctx.row_produced(len(kept))
             yield kept
 
@@ -495,11 +502,11 @@ class VecIndexRangeScanOperator(VectorOperator):
                 columns.update(vectors)
             batch = ColumnBatch(columns, count)
             if residual is not None:
-                mask = residual.evaluate_batch(batch.columns, count)
-                selected = [position for position in range(count)
-                            if mask[position]]
+                kernels = ctx.kernels
+                mask = residual.evaluate_batch(batch.columns, count, kernels)
+                selected = kernels.compact(mask)
                 ctx.visit_batch("predicate", count)
-                batch = batch.gather(selected)
+                batch = batch.gather(selected, kernels)
             ctx.row_produced(len(batch))
             ctx.record_done(count)
             yield batch
@@ -557,19 +564,11 @@ class VecIndexPointLookupOperator(VectorOperator):
 _MAX_SPILL_DEPTH = 4
 
 
-def _spill_partition_of(key, level: int, count: int) -> int:
-    """Deterministic spill-partition assignment, salted by recursion level.
-
-    Runs ``hash(key)`` through a splitmix-style finalizer so the partition
-    choice is decorrelated both from the ``hash(key) % buckets`` bucket
-    choice (otherwise every resident partition would populate only a slice
-    of the shared bucket array) and across recursion levels (otherwise a
-    re-partitioned overflow would land every row in one sub-partition).
-    """
-    mixed = (hash(key) ^ ((level + 1) * 0x9E3779B97F4A7C15)) & 0xFFFFFFFFFFFFFFFF
-    mixed = ((mixed ^ (mixed >> 33)) * 0xFF51AFD7ED558CCD) & 0xFFFFFFFFFFFFFFFF
-    mixed ^= mixed >> 33
-    return mixed % count
+#: Deterministic spill-partition assignment, salted by recursion level.
+#: The canonical implementation now lives in the kernels package (it is one
+#: of the data-plane contracts both backends must reproduce bit-for-bit);
+#: this alias keeps the historical name for the scalar call sites here.
+_spill_partition_of = spill_partition_of
 
 
 def _column_index(names: Sequence[str], column: str) -> int:
@@ -737,13 +736,13 @@ class VecHashJoinOperator(VectorOperator):
         new_area = ctx.allocate_workspace(new_buckets * entry_bytes)
         if keys:
             ctx.visit_batch("hash_build", len(keys))
-            for key in keys:
-                ctx.write_address(new_area + (hash(key) % new_buckets) * entry_bytes,
-                                  entry_bytes)
+            for bucket in ctx.kernels.bucket_indices(keys, new_buckets):
+                ctx.write_address(new_area + bucket * entry_bytes, entry_bytes)
         return new_buckets, new_area
 
     def _static_batches(self) -> Iterator[ColumnBatch]:
         ctx = self.ctx
+        kernels = ctx.kernels
         hash_area = ctx.allocate_workspace(self.build_row_estimate * self.ENTRY_BYTES)
         buckets = self.build_row_estimate
         entry_bytes = self.ENTRY_BYTES
@@ -762,7 +761,17 @@ class VecHashJoinOperator(VectorOperator):
             else:
                 for name, vector in batch.columns.items():
                     build_columns[name].extend(vector)
-            for key in batch.vector(self.build_column):
+            keys = batch.vector(self.build_column)
+            if build_count + len(keys) <= buckets:
+                # No mid-batch resize possible: hash the whole key vector at
+                # once.  The per-key charge below is untouched.
+                for key, bucket in zip(keys, kernels.bucket_indices(keys, buckets)):
+                    ctx.write_address(hash_area + bucket * entry_bytes, entry_bytes)
+                    hash_table.setdefault(key, []).append(build_count)
+                    build_keys.append(key)
+                    build_count += 1
+                continue
+            for key in keys:
                 if build_count == buckets:
                     # Observed cardinality exceeds the sizing estimate:
                     # reconcile by doubling (and re-charging) the area.
@@ -780,8 +789,10 @@ class VecHashJoinOperator(VectorOperator):
             ctx.visit_batch("hash_probe", len(batch))
             build_positions: List[int] = []
             probe_positions: List[int] = []
-            for position, key in enumerate(batch.vector(self.probe_column)):
-                bucket_address = hash_area + (hash(key) % buckets) * entry_bytes
+            probe_keys = batch.vector(self.probe_column)
+            buckets_of = kernels.bucket_indices(probe_keys, buckets)
+            for position, key in enumerate(probe_keys):
+                bucket_address = hash_area + buckets_of[position] * entry_bytes
                 ctx.read_address(bucket_address, entry_bytes)
                 matches = hash_table.get(key)
                 if not matches:
@@ -790,7 +801,8 @@ class VecHashJoinOperator(VectorOperator):
                 probe_positions.extend([position] * len(matches))
             ctx.visit_batch("join_output", len(build_positions))
             ctx.row_produced(len(build_positions))
-            yield merge_gather(build_block, build_positions, batch, probe_positions)
+            yield merge_gather(build_block, build_positions, batch, probe_positions,
+                               kernels)
 
     def _adaptive_batches(self, manager) -> Iterator[ColumnBatch]:
         """Join-side-adaptive execution: ingest, observe, possibly flip.
@@ -810,6 +822,7 @@ class VecHashJoinOperator(VectorOperator):
         from itertools import chain
 
         ctx = self.ctx
+        kernels = ctx.kernels
         policy = manager.policy
         collector = manager.collector
         hash_area = ctx.allocate_workspace(self.build_row_estimate * self.ENTRY_BYTES)
@@ -838,9 +851,9 @@ class VecHashJoinOperator(VectorOperator):
             else:
                 for name, vector in batch.columns.items():
                     build_columns[name].extend(vector)
-            for key in batch.vector(self.build_column):
-                bucket_address = hash_area + (hash(key) % buckets) * entry_bytes
-                ctx.write_address(bucket_address, entry_bytes)
+            keys = batch.vector(self.build_column)
+            for key, bucket in zip(keys, kernels.bucket_indices(keys, buckets)):
+                ctx.write_address(hash_area + bucket * entry_bytes, entry_bytes)
                 hash_table.setdefault(key, []).append(build_count)
                 build_count += 1
 
@@ -855,8 +868,10 @@ class VecHashJoinOperator(VectorOperator):
                 ctx.visit_batch("hash_probe", len(batch))
                 build_positions: List[int] = []
                 probe_positions: List[int] = []
-                for position, key in enumerate(batch.vector(self.probe_column)):
-                    bucket_address = hash_area + (hash(key) % buckets) * entry_bytes
+                probe_keys = batch.vector(self.probe_column)
+                buckets_of = kernels.bucket_indices(probe_keys, buckets)
+                for position, key in enumerate(probe_keys):
+                    bucket_address = hash_area + buckets_of[position] * entry_bytes
                     ctx.read_address(bucket_address, entry_bytes)
                     matches = hash_table.get(key)
                     if not matches:
@@ -866,7 +881,7 @@ class VecHashJoinOperator(VectorOperator):
                 ctx.visit_batch("join_output", len(build_positions))
                 ctx.row_produced(len(build_positions))
                 yield merge_gather(build_block, build_positions, batch,
-                                   probe_positions)
+                                   probe_positions, kernels)
             collector.observe_cardinality(self.probe_key, probe_rows)
             return
 
@@ -886,9 +901,9 @@ class VecHashJoinOperator(VectorOperator):
             else:
                 for name, vector in batch.columns.items():
                     probe_columns[name].extend(vector)
-            for key in batch.vector(self.probe_column):
-                bucket_address = flip_area + (hash(key) % flip_buckets) * entry_bytes
-                ctx.write_address(bucket_address, entry_bytes)
+            keys = batch.vector(self.probe_column)
+            for key, bucket in zip(keys, kernels.bucket_indices(keys, flip_buckets)):
+                ctx.write_address(flip_area + bucket * entry_bytes, entry_bytes)
                 flip_table.setdefault(key, []).append(probe_count)
                 probe_count += 1
         collector.observe_cardinality(self.probe_key, probe_count)
@@ -898,8 +913,9 @@ class VecHashJoinOperator(VectorOperator):
 
         def stream_lookups(keys: Sequence, base: int) -> None:
             ctx.visit_batch("hash_probe", len(keys))
+            buckets_of = kernels.bucket_indices(keys, flip_buckets)
             for offset, key in enumerate(keys):
-                bucket_address = flip_area + (hash(key) % flip_buckets) * entry_bytes
+                bucket_address = flip_area + buckets_of[offset] * entry_bytes
                 ctx.read_address(bucket_address, entry_bytes)
                 matches = flip_table.get(key)
                 if matches:
@@ -937,7 +953,7 @@ class VecHashJoinOperator(VectorOperator):
             ctx.visit_batch("join_output", len(chunk))
             ctx.row_produced(len(chunk))
             yield merge_gather(build_block, build_positions, probe_block,
-                               probe_positions)
+                               probe_positions, kernels)
 
     # ----------------------------------------------- grace/hybrid spilling
     def _spill_batches(self, budget: int, manager) -> Iterator[ColumnBatch]:
@@ -972,6 +988,7 @@ class VecHashJoinOperator(VectorOperator):
         restores the static dict-merge column order.
         """
         ctx = self.ctx
+        kernels = ctx.kernels
         entry_bytes = self.ENTRY_BYTES
         row_bytes = self.build_row_bytes
         collector = manager.collector if manager is not None else None
@@ -1048,8 +1065,13 @@ class VecHashJoinOperator(VectorOperator):
             else:
                 for name, vector in batch.columns.items():
                     build_columns[name].extend(vector)
-            for key in batch.vector(self.build_column):
-                part = _spill_partition_of(key, 0, partitions)
+            keys = batch.vector(self.build_column)
+            # Partition count is fixed for the whole ingest, so the
+            # level-0 partition of every key can be assigned in bulk; the
+            # bucket hash below cannot (the resident area may resize
+            # mid-batch).
+            parts = kernels.spill_partitions(keys, 0, partitions)
+            for key, part in zip(keys, parts):
                 if part < resident:
                     if resident_count == buckets:
                         buckets, hash_area = self._resize_hash_area(
@@ -1089,10 +1111,15 @@ class VecHashJoinOperator(VectorOperator):
             else:
                 for name, vector in batch.columns.items():
                     probe_columns[name].extend(vector)
-            for key in batch.vector(self.probe_column):
-                part = _spill_partition_of(key, 0, partitions)
+            keys = batch.vector(self.probe_column)
+            # Both the partition count and (resident set frozen) the bucket
+            # count are fixed during the probe phase: assign and hash in
+            # bulk.
+            parts = kernels.spill_partitions(keys, 0, partitions)
+            buckets_of = kernels.bucket_indices(keys, buckets)
+            for offset, (key, part) in enumerate(zip(keys, parts)):
                 if part < resident:
-                    bucket_address = hash_area + (hash(key) % buckets) * entry_bytes
+                    bucket_address = hash_area + buckets_of[offset] * entry_bytes
                     ctx.read_address(bucket_address, entry_bytes)
                     matches = resident_tables[part].get(key)
                     if matches:
@@ -1141,7 +1168,7 @@ class VecHashJoinOperator(VectorOperator):
             ctx.visit_batch("join_output", len(chunk))
             ctx.row_produced(len(chunk))
             yield merge_gather(build_block, build_positions, probe_block,
-                               probe_positions)
+                               probe_positions, kernels)
 
     def _join_partition(self,
                         build_rows: List[Tuple[int, Tuple]],
@@ -1162,6 +1189,7 @@ class VecHashJoinOperator(VectorOperator):
         duplicate-heavy key no amount of partitioning can split.
         """
         ctx = self.ctx
+        kernels = ctx.kernels
         entry_bytes = self.ENTRY_BYTES
         row_bytes = self.build_row_bytes
         footprint = len(build_rows) * row_bytes
@@ -1169,14 +1197,18 @@ class VecHashJoinOperator(VectorOperator):
             fanout = max(plan_partition_count(len(build_rows), row_bytes, budget), 2)
             sub_build: List[Optional[_SpillFile]] = [None] * fanout
             sub_probe: List[Optional[_SpillFile]] = [None] * fanout
-            for position, values in build_rows:
-                part = _spill_partition_of(values[build_key_index], level, fanout)
+            build_parts = kernels.spill_partitions(
+                [values[build_key_index] for _, values in build_rows],
+                level, fanout)
+            for (position, values), part in zip(build_rows, build_parts):
                 handle = sub_build[part]
                 if handle is None:
                     handle = sub_build[part] = _SpillFile(pool(), row_bytes)
                 handle.append(ctx, position, values)
-            for position, values in probe_rows:
-                part = _spill_partition_of(values[probe_key_index], level, fanout)
+            probe_parts = kernels.spill_partitions(
+                [values[probe_key_index] for _, values in probe_rows],
+                level, fanout)
+            for (position, values), part in zip(probe_rows, probe_parts):
                 build_handle = sub_build[part]
                 if build_handle is None or not build_handle.row_count:
                     continue
@@ -1201,17 +1233,17 @@ class VecHashJoinOperator(VectorOperator):
         area = ctx.allocate_workspace(buckets * entry_bytes)
         table: Dict[object, List[int]] = {}
         ctx.visit_batch("hash_build", len(build_rows))
-        for position, values in build_rows:
-            key = values[build_key_index]
-            ctx.write_address(area + (hash(key) % buckets) * entry_bytes,
-                              entry_bytes)
-            table.setdefault(key, []).append(position)
+        build_keys = [values[build_key_index] for _, values in build_rows]
+        for (position, values), bucket in zip(
+                build_rows, kernels.bucket_indices(build_keys, buckets)):
+            ctx.write_address(area + bucket * entry_bytes, entry_bytes)
+            table.setdefault(values[build_key_index], []).append(position)
         ctx.visit_batch("hash_probe", len(probe_rows))
-        for position, values in probe_rows:
-            key = values[probe_key_index]
-            ctx.read_address(area + (hash(key) % buckets) * entry_bytes,
-                             entry_bytes)
-            matches = table.get(key)
+        probe_keys = [values[probe_key_index] for _, values in probe_rows]
+        for (position, values), bucket in zip(
+                probe_rows, kernels.bucket_indices(probe_keys, buckets)):
+            ctx.read_address(area + bucket * entry_bytes, entry_bytes)
+            matches = table.get(values[probe_key_index])
             if matches:
                 pairs.extend((position, build_position)
                              for build_position in matches)
@@ -1257,7 +1289,7 @@ class VecNestedLoopJoinOperator(VectorOperator):
             ctx.visit_batch("join_output", len(inner_positions))
             ctx.row_produced(len(inner_positions))
             yield merge_gather(inner_block, inner_positions,
-                               outer_batch, outer_positions)
+                               outer_batch, outer_positions, ctx.kernels)
 
 
 class VecIndexNestedLoopJoinOperator(VectorOperator):
@@ -1321,7 +1353,7 @@ class VecIndexNestedLoopJoinOperator(VectorOperator):
             joined_count = len(outer_positions)
             yield merge_gather(outer_batch, outer_positions,
                                ColumnBatch(inner_vectors, joined_count),
-                               range(joined_count))
+                               range(joined_count), ctx.kernels)
 
 
 class VecScalarAggregateOperator(VectorOperator):
@@ -1341,6 +1373,7 @@ class VecScalarAggregateOperator(VectorOperator):
 
     def batches(self) -> Iterator[ColumnBatch]:
         ctx = self.ctx
+        kernels = ctx.kernels
         state_base = ctx.allocate_workspace(len(self.aggregates) * self.STATE_BYTES)
         states = [AggregateState(agg) for agg in self.aggregates]
         for batch in self.child.batches():
@@ -1351,13 +1384,10 @@ class VecScalarAggregateOperator(VectorOperator):
             for position, (agg, state) in enumerate(zip(self.aggregates, states)):
                 address = state_base + position * self.STATE_BYTES
                 ctx.read_address(address, 8)
-                update = state.update
                 if agg.column is None:
-                    for _ in range(count):
-                        update(1)
+                    kernels.fold_count(state, count)
                 else:
-                    for value in batch.vector(agg.column):
-                        update(value)
+                    kernels.fold(state, batch.vector(agg.column))
                 ctx.write_address(address, 8)
         yield ColumnBatch({agg.label: [state.result()]
                            for agg, state in zip(self.aggregates, states)}, 1)
@@ -1502,8 +1532,15 @@ def execute_plan_vectorized(plan: PhysicalPlan, catalog: Catalog,
     byte-identical row dicts.  Charges the same single ``query_setup`` as
     the tuple engine -- parsing and optimisation are per query, not per
     engine -- so the harness can also assert identical setup counts.
+
+    An explicit ``execution.kernel_backend`` (``python``/``array``) is
+    resolved onto the context here; ``auto`` defers to whatever the
+    context already carries (the session resolves ``auto`` at
+    construction), so a context wired with specific kernels keeps them.
     """
     batch_size = execution.batch_size if execution is not None else 256
+    if execution is not None and execution.kernel_backend != KERNEL_BACKEND_AUTO:
+        ctx.kernels = resolve_kernels(execution.kernel_backend)
     ctx.visit("query_setup")
     operator = build_vectorized_plan(plan, catalog, ctx, batch_size=batch_size)
     return list(operator.rows())

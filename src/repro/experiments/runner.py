@@ -332,7 +332,8 @@ class ExperimentRunner:
                      adaptive_joins: bool = False,
                      adaptive_batching: bool = False,
                      batch_size: Optional[int] = None,
-                     memory_budget_bytes: Optional[int] = None) -> Session:
+                     memory_budget_bytes: Optional[int] = None,
+                     kernel_backend: Optional[str] = None) -> Session:
         """A measurement session against the cached grid build.
 
         The address space is rolled back to the post-build checkpoint
@@ -348,7 +349,9 @@ class ExperimentRunner:
         bench pins adaptive cells to serial, where their cycles are
         deterministic).  ``memory_budget_bytes`` caps the vectorized hash
         join's working memory (the budget-sweep cells express it relative
-        to the build side's ``s_bytes``).
+        to the build side's ``s_bytes``).  ``kernel_backend`` selects the
+        data-plane kernel implementation (``None`` keeps the session
+        default, ``auto``).
         """
         database, checkpoint = self.grid_database(layout)
         database.address_space.restore(checkpoint)
@@ -359,6 +362,8 @@ class ExperimentRunner:
             kwargs["batch_size"] = batch_size
         if memory_budget_bytes is not None:
             kwargs["memory_budget_bytes"] = memory_budget_bytes
+        if kernel_backend is not None:
+            kwargs["kernel_backend"] = kernel_backend
         return Session(database, system_by_key(system_key), spec=self.config.spec,
                        os_interference=self.config.os_config(), engine=engine,
                        parallelism=parallelism,

@@ -35,7 +35,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from .native import load_native
 from .specs import CacheSpec
+
+#: Compiled cache-automaton fast path (``_cachesim.c``) or ``None``.  The
+#: native module manipulates the same per-set lists and dirty sets as the
+#: pure-Python loops below -- state transitions are identical by
+#: construction and asserted by ``tests/test_native_cache.py`` -- so with
+#: or without it every hit/miss count, LRU ordering and write-back is the
+#: same; only the simulator's wall-clock changes.  Set ``REPRO_NATIVE=0``
+#: to force the pure-Python oracle.
+_NATIVE = load_native()
 
 #: Access port identifiers.  They index the statistics arrays.
 PORT_DATA_READ = 0
@@ -142,7 +152,7 @@ class Cache:
     """
 
     __slots__ = ("spec", "name", "_sets", "_dirty", "_line_shift", "_set_mask", "stats",
-                 "next_level", "_assoc", "_write_back")
+                 "next_level", "_assoc", "_write_back", "_nargs")
 
     def __init__(self, spec: CacheSpec, next_level: Optional["Cache"] = None) -> None:
         self.spec = spec
@@ -157,6 +167,11 @@ class Cache:
         # Dirty tags per set (write-back bookkeeping).
         self._dirty: List[set] = [set() for _ in range(spec.num_sets)]
         self.stats = CacheStats()
+        # Prebuilt argument block for the native automaton: the lists are
+        # mutated in place everywhere (never rebound), so this stays valid
+        # for the cache's lifetime.
+        self._nargs = (self._sets, self._dirty, self._set_mask, self._assoc,
+                       1 if self._write_back else 0)
 
     # ------------------------------------------------------------------ API
     def line_address(self, addr: int) -> int:
@@ -177,6 +192,12 @@ class Cache:
         are automatically forwarded to :attr:`next_level` when one is
         attached, so a single call on the L1 drives the whole hierarchy.
         """
+        if _NATIVE is not None:
+            next_level = self.next_level
+            deltas = _NATIVE.strided(
+                self._nargs, next_level._nargs if next_level is not None else None,
+                self._line_shift, addr, 0, 1, size, port, 1 if write else 0)
+            return self._apply_native(deltas, port, next_level)
         misses = 0
         for line in self.lines_spanned(addr, size):
             misses += self._access_line(line, port, write)
@@ -220,6 +241,13 @@ class Cache:
         """
         if count <= 0:
             return 0
+        if _NATIVE is not None:
+            next_level = self.next_level
+            deltas = _NATIVE.strided(
+                self._nargs, next_level._nargs if next_level is not None else None,
+                self._line_shift, addr, stride, count, size, port,
+                1 if write else 0)
+            return self._apply_native(deltas, port, next_level)
         shift = self._line_shift
         set_mask = self._set_mask
         sets = self._sets
@@ -293,6 +321,16 @@ class Cache:
         the statistics applied once -- the instruction side of the fast
         path.
         """
+        if _NATIVE is not None and type(line_addresses) is range:
+            count = len(line_addresses)
+            if count == 0:
+                return 0
+            next_level = self.next_level
+            deltas = _NATIVE.lines(
+                self._nargs, next_level._nargs if next_level is not None else None,
+                self._line_shift, line_addresses.start, line_addresses.step,
+                count, port, 1 if write else 0)
+            return self._apply_native(deltas, port, next_level)
         shift = self._line_shift
         set_mask = self._set_mask
         sets = self._sets
@@ -405,6 +443,38 @@ class Cache:
                 # Write-through: the write is also forwarded (counted as
                 # traffic only; latency is hidden by the write buffer).
                 next_level._access_line(line_number, PORT_DATA_WRITE, True)
+
+    def _apply_native(self, deltas: Tuple[int, ...], port: int,
+                      next_level: Optional["Cache"]) -> int:
+        """Fold a native call's counter deltas into the statistics.
+
+        The native automaton performed every state transition in place; the
+        counter adds it reports all commute, so applying them here once per
+        call yields the same totals as the per-event updates of the
+        pure-Python loops.
+        """
+        (accesses, misses, self_wb, fill_acc, fill_miss,
+         write_acc, write_miss, next_wb) = deltas
+        stats = self.stats
+        stats.accesses[port] += accesses
+        if misses:
+            stats.misses[port] += misses
+        if self_wb:
+            stats.writebacks += self_wb
+        if next_level is not None:
+            next_stats = next_level.stats
+            fill_port = PORT_INSTRUCTION if port == PORT_INSTRUCTION else PORT_DATA_READ
+            if fill_acc:
+                next_stats.accesses[fill_port] += fill_acc
+            if fill_miss:
+                next_stats.misses[fill_port] += fill_miss
+            if write_acc:
+                next_stats.accesses[PORT_DATA_WRITE] += write_acc
+            if write_miss:
+                next_stats.misses[PORT_DATA_WRITE] += write_miss
+            if next_wb:
+                next_stats.writebacks += next_wb
+        return misses
 
     # ----------------------------------------------------------- internals
     def _access_line(self, line_number: int, port: int, write: bool) -> int:
@@ -572,6 +642,16 @@ class CacheHierarchy:
         path (contiguous column vectors use ``stride == size``).
         """
         return self.l1d.access_strided(addr, stride, count, size, PORT_DATA_READ)
+
+    def write_strided(self, addr: int, stride: int, count: int, size: int) -> int:
+        """Bulk data write of ``count`` ``size``-byte elements ``stride`` apart.
+
+        Count-identical to ``count`` individual :meth:`write` calls in
+        ascending order; the store-side twin of :meth:`read_strided` (page
+        flushes write whole line runs through this).
+        """
+        return self.l1d.access_strided(addr, stride, count, size, PORT_DATA_WRITE,
+                                       write=True)
 
     # Instruction side ------------------------------------------------------
     def fetch(self, line_addr: int) -> int:

@@ -1,0 +1,99 @@
+"""Build-on-demand loader for the native cache-automaton fast path.
+
+``repro.hardware.cache`` asks this module for the compiled ``_cachesim``
+extension (see ``_cachesim.c``).  The contract mirrors the repo's other
+fast paths: the native module is *optional* -- when a C toolchain or the
+Python headers are missing, or ``REPRO_NATIVE=0`` is set, every caller
+falls back to the pure-Python automaton, which remains the oracle the
+differential tests compare against.
+
+The extension is compiled lazily, once, with the interpreter's own
+headers.  The build is keyed by a hash of the C source: editing
+``_cachesim.c`` invalidates previously built artifacts, so a stale ``.so``
+can never masquerade as the current automaton.  Build products land next
+to the source when the checkout is writable (the common dev case) or in a
+per-source-hash temp directory otherwise; both locations are tried for
+loading.  Any failure at any stage degrades silently to ``None``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib.util
+import os
+import subprocess
+import sys
+import sysconfig
+import tempfile
+from typing import Optional
+
+_SOURCE = os.path.join(os.path.dirname(os.path.abspath(__file__)), "_cachesim.c")
+
+
+def _source_hash() -> str:
+    with open(_SOURCE, "rb") as handle:
+        return hashlib.sha1(handle.read()).hexdigest()[:16]
+
+
+def _load_from(path: str, expected_hash: str) -> Optional[object]:
+    if not os.path.exists(path):
+        return None
+    try:
+        spec = importlib.util.spec_from_file_location("repro.hardware._cachesim", path)
+        if spec is None or spec.loader is None:
+            return None
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+    except Exception:
+        return None
+    if getattr(module, "source_hash", "") != expected_hash:
+        return None
+    return module
+
+
+def _compile_into(directory: str, expected_hash: str) -> Optional[str]:
+    suffix = sysconfig.get_config_var("EXT_SUFFIX") or ".so"
+    target = os.path.join(directory, f"_cachesim{suffix}")
+    include = sysconfig.get_paths()["include"]
+    compiler = os.environ.get("CC", "cc")
+    scratch = target + f".build-{os.getpid()}"
+    command = [compiler, "-O2", "-fPIC", "-shared",
+               f"-DCACHESIM_SOURCE_HASH=\"{expected_hash}\"",
+               f"-I{include}", _SOURCE, "-o", scratch]
+    try:
+        os.makedirs(directory, exist_ok=True)
+        subprocess.run(command, check=True, capture_output=True, timeout=120)
+        os.replace(scratch, target)  # atomic: concurrent builders race safely
+    except Exception:
+        try:
+            os.remove(scratch)
+        except OSError:
+            pass
+        return None
+    return target
+
+
+def load_native() -> Optional[object]:
+    """Return the compiled ``_cachesim`` module, building it if needed."""
+    if os.environ.get("REPRO_NATIVE", "1").lower() in ("0", "off", "no", "false"):
+        return None
+    try:
+        expected = _source_hash()
+    except OSError:
+        return None
+    suffix = sysconfig.get_config_var("EXT_SUFFIX") or ".so"
+    package_dir = os.path.dirname(_SOURCE)
+    temp_dir = os.path.join(
+        tempfile.gettempdir(),
+        f"repro-cachesim-{expected}-py{sys.version_info[0]}{sys.version_info[1]}")
+    for directory in (package_dir, temp_dir):
+        module = _load_from(os.path.join(directory, f"_cachesim{suffix}"), expected)
+        if module is not None:
+            return module
+    for directory in (package_dir, temp_dir):
+        built = _compile_into(directory, expected)
+        if built is not None:
+            module = _load_from(built, expected)
+            if module is not None:
+                return module
+    return None

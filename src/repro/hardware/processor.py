@@ -30,8 +30,8 @@ from __future__ import annotations
 
 from typing import Iterable, Optional, Sequence
 
-from .branch import BranchPredictor
-from .cache import CacheHierarchy
+from .branch import BranchPredictor, _BTBEntry
+from .cache import CacheHierarchy, _NATIVE
 from .counters import EventCounters, MODE_SUP, MODE_USER, MODES
 from .memory import MainMemory
 from .os_interference import OSInterference, OSInterferenceConfig
@@ -60,6 +60,43 @@ class SimulatedProcessor:
         self._l1i_stall_cycles = 0.0
         self._last_instruction_page = -1
         self._finalized = False
+
+        #: Constant block handed to the native charging fast paths
+        #: (``_cachesim.c``), pre-parsed into a C capsule so the per-call
+        #: cost is zero: the live microarchitectural state objects plus the
+        #: scalar geometry the C code needs to drive them.  Only *stable*
+        #: objects go in -- the per-component ``stats`` objects rebind on
+        #: ``reset_stats`` and are re-fetched through ``getattr`` on every
+        #: native call.  ``None`` (native module unavailable, or forced by a
+        #: differential test) keeps every charge on the pure-Python oracle
+        #: paths; the native paths are count- and state-identical by contract
+        #: (asserted by tests/test_native_charging.py).
+        self._native_state = (_NATIVE.pack_machine(self._build_native_state())
+                              if _NATIVE is not None else None)
+
+    def _build_native_state(self):
+        caches = self.caches
+        l1d, l1i, l2 = caches.l1d, caches.l1i, caches.l2
+        dtlb, itlb = self.dtlb, self.itlb
+        branch_unit = self.branch_unit
+        spec = self.spec
+        return (
+            l1d, l1i, l2,
+            l1d._nargs, l1i._nargs, l2._nargs,
+            l1d._line_shift, l1i._line_shift,
+            dtlb, itlb, dtlb._entries, itlb._entries,
+            dtlb._page_shift, itlb._page_shift,
+            dtlb.spec.entries, itlb.spec.entries,
+            branch_unit, branch_unit._sets,
+            branch_unit._set_mask, branch_unit._history_mask,
+            1 if branch_unit.spec.static_backward_taken else 0,
+            branch_unit.spec.history_bits, branch_unit.spec.btb_associativity,
+            _BTBEntry,
+            float(spec.pipeline.l1i_fetch_stall_cycles),
+            float(spec.memory.latency_cycles),
+            self.counters.user,
+            self,
+        )
 
     # ------------------------------------------------------------ code side
     def fetch_code(self, line_addresses: Sequence[int]) -> int:
@@ -126,6 +163,11 @@ class SimulatedProcessor:
         """
         if count <= 0:
             return 0
+        if self._native_state is not None:
+            # Native fast path: ITLB page transitions, L1I line touches,
+            # stall accumulation and counter folds in one C call --
+            # count- and state-identical to the loop below.
+            return _NATIVE.fetch_run(self._native_state, line_addr, count)
         caches = self.caches
         counters = self.counters
         itlb = self.itlb
@@ -224,6 +266,9 @@ class SimulatedProcessor:
     # ------------------------------------------------------------ data side
     def data_read(self, address: int, size: int = 4) -> int:
         """Simulated load; returns the number of L1D misses incurred."""
+        if self._native_state is not None:
+            return _NATIVE.charged_strided(self._native_state, address, 0, 1,
+                                           size, 0)
         user = self.counters.user
         user["DATA_MEM_REFS"] = user.get("DATA_MEM_REFS", 0) + 1
         dtlb_miss = self.dtlb.access(address)
@@ -242,6 +287,9 @@ class SimulatedProcessor:
 
     def data_write(self, address: int, size: int = 4) -> int:
         """Simulated store; returns the number of L1D misses incurred."""
+        if self._native_state is not None:
+            return _NATIVE.charged_strided(self._native_state, address, 0, 1,
+                                           size, 1)
         counters = self.counters
         counters.add("DATA_MEM_REFS", 1)
         dtlb_miss = self.dtlb.access(address)
@@ -300,6 +348,11 @@ class SimulatedProcessor:
         """
         if count <= 0:
             return 0
+        if self._native_state is not None:
+            # Native fast path; covers the degenerate strides below too (the
+            # C loop revisits the same element, like the scalar fallback).
+            return _NATIVE.charged_strided(self._native_state, address,
+                                           stride, count, size, 0)
         if count == 1 or stride <= 0:
             # Degenerate strides would revisit the same element; charge them
             # through the scalar path to keep the equivalence trivial.
@@ -324,6 +377,51 @@ class SimulatedProcessor:
         l2 = self.caches.l2
         l2_data_misses_before = l2.stats.misses[0] + l2.stats.misses[1]
         misses = self.caches.read_strided(address, stride, count, size)
+        if misses:
+            user["DCU_LINES_IN"] = user.get("DCU_LINES_IN", 0) + misses
+            user["L2_DATA_RQSTS"] = user.get("L2_DATA_RQSTS", 0) + misses
+            l2_misses = (l2.stats.misses[0] + l2.stats.misses[1]) - l2_data_misses_before
+            if l2_misses:
+                user["L2_DATA_MISS"] = user.get("L2_DATA_MISS", 0) + l2_misses
+        return misses
+
+    def data_write_strided(self, address: int, stride: int, count: int,
+                           size: int = 4) -> int:
+        """Bulk store of ``count`` ``size``-byte elements ``stride`` bytes
+        apart; returns the L1D misses incurred.
+
+        The store-side twin of :meth:`data_read_strided`: one call charges a
+        whole line-run flush (page write-out) with identical hit/miss
+        counts, LRU/dirty evolution and counter values to ``count``
+        individual :meth:`data_write` calls in ascending address order.
+        """
+        if count <= 0:
+            return 0
+        if self._native_state is not None:
+            return _NATIVE.charged_strided(self._native_state, address,
+                                           stride, count, size, 1)
+        if count == 1 or stride <= 0:
+            misses = 0
+            for _ in range(max(count, 0)):
+                misses += self.data_write(address, size)
+            return misses
+        user = self.counters.user
+        user["DATA_MEM_REFS"] = user.get("DATA_MEM_REFS", 0) + count
+        dtlb = self.dtlb
+        page_shift = dtlb._page_shift
+        dtlb_misses = 0
+        position = 0
+        while position < count:
+            element = address + position * stride
+            page_end = ((element >> page_shift) + 1) << page_shift
+            run = min(count - position, (page_end - element + stride - 1) // stride)
+            dtlb_misses += dtlb.access_bulk(element, run)
+            position += run
+        if dtlb_misses:
+            user["DTLB_MISS"] = user.get("DTLB_MISS", 0) + dtlb_misses
+        l2 = self.caches.l2
+        l2_data_misses_before = l2.stats.misses[0] + l2.stats.misses[1]
+        misses = self.caches.write_strided(address, stride, count, size)
         if misses:
             user["DCU_LINES_IN"] = user.get("DCU_LINES_IN", 0) + misses
             user["L2_DATA_RQSTS"] = user.get("L2_DATA_RQSTS", 0) + misses

@@ -42,6 +42,18 @@ def _column_vector(columns: Mapping[str, Sequence], name: str) -> Optional[Seque
     return columns.get(name.split(".")[-1])
 
 
+_DEFAULT_KERNELS = None
+
+
+def _default_kernels():
+    """The pure-Python kernel backend (lazy: avoids a query<->execution cycle)."""
+    global _DEFAULT_KERNELS
+    if _DEFAULT_KERNELS is None:
+        from ..execution.kernels.python_backend import PYTHON_KERNELS
+        _DEFAULT_KERNELS = PYTHON_KERNELS
+    return _DEFAULT_KERNELS
+
+
 class Expression:
     """Base class for scalar (boolean or numeric) expressions."""
 
@@ -49,16 +61,20 @@ class Expression:
         raise NotImplementedError
 
     def evaluate_batch(self, columns: Mapping[str, Sequence],
-                       count: int) -> List[bool]:
+                       count: int, kernels=None) -> List[bool]:
         """Boolean selection mask over ``count`` rows given as column vectors.
 
         The vectorized engine's columnar dataflow evaluates predicates
         against column vectors rather than row dicts.  The base
         implementation materializes a minimal row view per position (so any
         expression works); :class:`Between` and :class:`Comparison` override
-        it with tight single-column loops for the microbenchmark's
-        qualifications.  Results are positionally identical to calling
-        :meth:`evaluate` on each row.
+        it with single-column kernel calls, and the logical connectives
+        combine their operands' masks elementwise.  Results are positionally
+        identical to calling :meth:`evaluate` on each row.
+
+        ``kernels`` selects the data-plane implementation
+        (:mod:`repro.execution.kernels`); ``None`` uses the pure-Python
+        backend.  The mask is backend-independent by contract.
         """
         names = tuple(columns)
         if not names:
@@ -150,14 +166,13 @@ class Comparison(Expression):
         return self.op.apply(self.left.evaluate(row), self.right.evaluate(row))
 
     def evaluate_batch(self, columns: Mapping[str, Sequence],
-                       count: int) -> List[bool]:
+                       count: int, kernels=None) -> List[bool]:
         if type(self.left) is ColumnRef and type(self.right) is Const:
             vector = _column_vector(columns, self.left.name)
             if vector is not None:
-                apply = self.op.apply
-                constant = self.right.value
-                return [apply(value, constant) for value in vector]
-        return Expression.evaluate_batch(self, columns, count)
+                return (kernels or _default_kernels()).compare_const(
+                    self.op, vector, self.right.value)
+        return Expression.evaluate_batch(self, columns, count, kernels)
 
     def columns(self) -> FrozenSet[str]:
         return self.left.columns() | self.right.columns()
@@ -193,7 +208,7 @@ class Between(Expression):
         return value <= high if self.include_high else value < high
 
     def evaluate_batch(self, columns: Mapping[str, Sequence],
-                       count: int) -> List[bool]:
+                       count: int, kernels=None) -> List[bool]:
         if type(self.expr) is ColumnRef and type(self.low) is Const \
                 and type(self.high) is Const:
             vector = _column_vector(columns, self.expr.name)
@@ -201,18 +216,9 @@ class Between(Expression):
                 low, high = self.low.value, self.high.value
                 if low is None or high is None:
                     return [False] * count
-                if self.include_low and self.include_high:
-                    return [value is not None and low <= value <= high
-                            for value in vector]
-                if self.include_low:
-                    return [value is not None and low <= value < high
-                            for value in vector]
-                if self.include_high:
-                    return [value is not None and low < value <= high
-                            for value in vector]
-                return [value is not None and low < value < high
-                        for value in vector]
-        return Expression.evaluate_batch(self, columns, count)
+                return (kernels or _default_kernels()).between_const(
+                    vector, low, high, self.include_low, self.include_high)
+        return Expression.evaluate_batch(self, columns, count, kernels)
 
     def columns(self) -> FrozenSet[str]:
         return self.expr.columns() | self.low.columns() | self.high.columns()
@@ -229,6 +235,19 @@ class And(Expression):
 
     def evaluate(self, row: Mapping[str, object]) -> bool:
         return all(op.evaluate(row) for op in self.operands)
+
+    def evaluate_batch(self, columns: Mapping[str, Sequence],
+                       count: int, kernels=None) -> List[bool]:
+        # Predicates are total and pure, so the short-circuit ``all`` of
+        # :meth:`evaluate` and this non-short-circuit mask combination
+        # produce the same booleans row for row.
+        if not self.operands:
+            return [True] * count
+        masks = [op.evaluate_batch(columns, count, kernels)
+                 for op in self.operands]
+        if len(masks) == 1:
+            return [bool(value) for value in masks[0]]
+        return (kernels or _default_kernels()).and_masks(masks)
 
     def columns(self) -> FrozenSet[str]:
         out: FrozenSet[str] = frozenset()
@@ -249,6 +268,16 @@ class Or(Expression):
     def evaluate(self, row: Mapping[str, object]) -> bool:
         return any(op.evaluate(row) for op in self.operands)
 
+    def evaluate_batch(self, columns: Mapping[str, Sequence],
+                       count: int, kernels=None) -> List[bool]:
+        if not self.operands:
+            return [False] * count
+        masks = [op.evaluate_batch(columns, count, kernels)
+                 for op in self.operands]
+        if len(masks) == 1:
+            return [bool(value) for value in masks[0]]
+        return (kernels or _default_kernels()).or_masks(masks)
+
     def columns(self) -> FrozenSet[str]:
         out: FrozenSet[str] = frozenset()
         for op in self.operands:
@@ -267,6 +296,11 @@ class Not(Expression):
 
     def evaluate(self, row: Mapping[str, object]) -> bool:
         return not self.operand.evaluate(row)
+
+    def evaluate_batch(self, columns: Mapping[str, Sequence],
+                       count: int, kernels=None) -> List[bool]:
+        mask = self.operand.evaluate_batch(columns, count, kernels)
+        return (kernels or _default_kernels()).not_mask(mask)
 
     def columns(self) -> FrozenSet[str]:
         return self.operand.columns()

@@ -64,6 +64,20 @@ ADAPTIVITY_EPSILON = "epsilon"
 ADAPTIVITY_MODES = (ADAPTIVITY_OFF, ADAPTIVITY_STATIC, ADAPTIVITY_GREEDY,
                     ADAPTIVITY_EPSILON)
 
+#: Which data-plane kernel implementation the vectorized operators run
+#: (:mod:`repro.execution.kernels`).  ``python`` is the original pure-Python
+#: loops (zero dependencies, the differential oracle); ``array`` is the
+#: numpy-backed backend (optional extra, raises if numpy is missing);
+#: ``auto`` (the default) prefers ``array`` and degrades to ``python`` with
+#: a one-time warning.  Kernels only touch data -- rows, row order, column
+#: order and every simulated hardware count are identical across backends
+#: by contract (the charging calls never move).
+KERNEL_BACKEND_AUTO = "auto"
+KERNEL_BACKEND_PYTHON = "python"
+KERNEL_BACKEND_ARRAY = "array"
+KERNEL_BACKENDS = (KERNEL_BACKEND_AUTO, KERNEL_BACKEND_PYTHON,
+                   KERNEL_BACKEND_ARRAY)
+
 
 @dataclass(frozen=True)
 class ExecutionConfig:
@@ -119,6 +133,12 @@ class ExecutionConfig:
     #: Result rows, their order and their column order are identical to the
     #: in-memory join at every budget.
     memory_budget_bytes: Optional[int] = None
+    #: Data-plane kernel backend for the vectorized operators (see
+    #: :data:`KERNEL_BACKENDS`).  Selects how predicate masks, selection
+    #: vectors, gathers, key hashing and aggregate folds are *computed*;
+    #: what is *charged* to the simulated hardware is identical for every
+    #: backend, as are result rows and column order.
+    kernel_backend: str = KERNEL_BACKEND_AUTO
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:
@@ -148,6 +168,9 @@ class ExecutionConfig:
                 f"{ADAPTIVITY_OFF!r}: the decisions are made by the adaptivity "
                 "policy (use adaptivity='static' for the never-adapt control "
                 "arm rather than 'off', which bypasses the subsystem entirely)")
+        if self.kernel_backend not in KERNEL_BACKENDS:
+            raise ValueError(f"unknown kernel backend {self.kernel_backend!r}; "
+                             f"expected one of {KERNEL_BACKENDS}")
         if self.memory_budget_bytes is not None:
             if self.memory_budget_bytes < 1:
                 raise ValueError("memory_budget_bytes must be at least 1 when set")

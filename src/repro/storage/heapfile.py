@@ -65,6 +65,7 @@ class HeapFile:
         self.buffer_pool = buffer_pool
         self.page_style = page_style
         self._page_numbers: List[int] = []
+        self._page_number_set: set = set()
         self._record_count = 0
         self._current_page: Optional[SlottedPage] = None
 
@@ -112,11 +113,12 @@ class HeapFile:
                 self.buffer_pool.unpin(page.page_number)
             page = self.buffer_pool.allocate_page(factory, pin=True)
             self._page_numbers.append(page.page_number)
+            self._page_number_set.add(page.page_number)
             self._current_page = page
         return page
 
     def _page(self, page_number: int) -> SlottedPage:
-        if page_number not in set(self._page_numbers):
+        if page_number not in self._page_number_set:
             raise HeapFileError(f"page {page_number} does not belong to heap file {self.name!r}")
         return self.buffer_pool.fetch_page(page_number)
 

@@ -138,6 +138,15 @@ class SlottedPage:
         offset, length = self._offsets[slot], self._lengths[slot]
         return memoryview(self._buffer)[offset:offset + length]
 
+    def field_values(self, offset: int, code: str, slots: Sequence[int]) -> List:
+        """Decode the fixed-width field at record-relative ``offset`` for a
+        batch of live slots -- one ``unpack_from`` straight off the page
+        buffer per value, no per-record view or copy."""
+        buffer = self._buffer
+        offsets = self._offsets
+        return [struct.unpack_from(code, buffer, offsets[slot] + offset)[0]
+                for slot in slots]
+
     def slot_address(self, slot: int) -> int:
         """Virtual address of the first byte of the record in ``slot``."""
         self._check_slot(slot)
@@ -353,6 +362,13 @@ class PaxPage:
                 raw = bytes(buffer[base + slot * width:base + (slot + 1) * width])
                 out.append(raw.rstrip(b"\x00").decode(errors="replace"))
             return out
+        count = len(slots)
+        if count > 1 and slots[count - 1] - slots[0] == count - 1:
+            # Ascending consecutive slots (the common full-run case) are
+            # contiguous in the minipage: decode them with one bulk unpack.
+            return list(struct.unpack_from(
+                f"<{count}{column.type.struct_code}", buffer,
+                base + slots[0] * width))
         code = "<" + column.type.struct_code
         return [struct.unpack_from(code, buffer, base + slot * width)[0]
                 for slot in slots]

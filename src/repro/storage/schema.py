@@ -19,6 +19,7 @@ from __future__ import annotations
 import struct
 from dataclasses import dataclass, field
 from enum import Enum
+from functools import cached_property
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 
@@ -97,11 +98,15 @@ class Schema:
                 return col
         raise SchemaError(f"no column named {name!r} in schema {self.name!r}")
 
+    @cached_property
+    def _index(self) -> Dict[str, int]:
+        return {col.name: i for i, col in enumerate(self.columns)}
+
     def index_of(self, name: str) -> int:
-        for i, col in enumerate(self.columns):
-            if col.name == name:
-                return i
-        raise SchemaError(f"no column named {name!r} in schema {self.name!r}")
+        index = self._index.get(name)
+        if index is None:
+            raise SchemaError(f"no column named {name!r} in schema {self.name!r}")
+        return index
 
     def column_names(self) -> Tuple[str, ...]:
         return tuple(c.name for c in self.columns)
@@ -153,6 +158,21 @@ class RecordLayout:
         idx = self.schema.index_of(column_name)
         return self.offsets[idx], self.schema.columns[idx].byte_width
 
+    @cached_property
+    def column_codecs(self) -> Dict[str, Tuple[int, Optional[str], int]]:
+        """``name -> (offset, struct format or None for CHAR, width)``.
+
+        The batch read paths decode millions of fields; resolving the
+        column's offset and format string once per layout instead of once
+        per value keeps the decode loop down to a single ``unpack_from``.
+        """
+        codecs: Dict[str, Tuple[int, Optional[str], int]] = {}
+        for idx, column in enumerate(self.schema.columns):
+            code = (None if column.type is ColumnType.CHAR
+                    else "<" + column.type.struct_code)
+            codecs[column.name] = (self.offsets[idx], code, column.byte_width)
+        return codecs
+
     # ------------------------------------------------------------ encoding
     def _struct_format(self) -> str:
         parts = ["<"]
@@ -194,13 +214,14 @@ class RecordLayout:
 
     def decode_column(self, data: bytes, column_name: str):
         """Decode a single column without materialising the whole record."""
-        idx = self.schema.index_of(column_name)
-        column = self.schema.columns[idx]
-        offset = self.offsets[idx]
-        if column.type is ColumnType.CHAR:
-            raw = data[offset:offset + column.byte_width]
+        codec = self.column_codecs.get(column_name)
+        if codec is None:
+            self.schema.index_of(column_name)  # raises SchemaError
+        offset, code, width = codec
+        if code is None:
+            raw = data[offset:offset + width]
             return raw.rstrip(b"\x00").decode(errors="replace")
-        return struct.unpack_from("<" + column.type.struct_code, data, offset)[0]
+        return struct.unpack_from(code, data, offset)[0]
 
 
 def microbenchmark_schema(record_size: int = 100, name: str = "R") -> Tuple[Schema, RecordLayout]:

@@ -1,0 +1,27 @@
+"""Seeded random streams for the workload generators.
+
+Every dataset in the repo is generated from numpy's PCG64 stream; the
+committed baselines (and the paper-figure numbers) are tied to those exact
+draws, so there is deliberately no stdlib fallback -- regenerating the data
+from ``random.Random`` would silently produce *different* databases and
+invalidate every recorded count.  Without numpy the engine itself still runs
+(the kernels package falls back to its pure-Python backend); only dataset
+generation is off the table, and it says so instead of guessing.
+"""
+
+from __future__ import annotations
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    _np = None
+
+
+def default_rng(seed):
+    """``numpy.random.default_rng(seed)``, or a clear error without numpy."""
+    if _np is None:
+        raise RuntimeError(
+            "workload data generation requires numpy: dataset identity is "
+            "tied to numpy's PCG64 stream, so there is no stdlib fallback. "
+            "Install the fast extra: pip install -e .[fast]")
+    return _np.random.default_rng(seed)

@@ -32,13 +32,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator, Optional, Sequence, Tuple
 
-import numpy as np
-
 from ..engine.database import Database
 from ..query.expressions import (ColumnRef, Comparison, ComparisonOp, Const,
                                  avg, conjunction, range_predicate)
 from ..query.plans import JoinQuery, SelectionQuery
 from ..storage.schema import ColumnType
+from ._rng import default_rng
 
 #: The paper's row counts and value domain (scale == 1.0).
 PAPER_R_ROWS = 1_200_000
@@ -108,7 +107,7 @@ class MicroWorkload:
     def generate_r_rows(self) -> Iterator[Tuple[int, int, int]]:
         """Rows of R: ``a1`` sequential, ``a2`` uniform over the domain, ``a3`` values."""
         config = self.config
-        rng = np.random.default_rng(config.seed)
+        rng = default_rng(config.seed)
         a2 = rng.integers(1, config.a2_domain + 1, size=config.r_rows)
         a3 = rng.integers(0, 10_000, size=config.r_rows)
         for i in range(config.r_rows):
@@ -117,7 +116,7 @@ class MicroWorkload:
     def generate_s_rows(self) -> Iterator[Tuple[int, int, int]]:
         """Rows of S: ``a1`` is the primary key 1..|S|."""
         config = self.config
-        rng = np.random.default_rng(config.seed + 1)
+        rng = default_rng(config.seed + 1)
         a2 = rng.integers(1, config.a2_domain + 1, size=config.s_rows)
         a3 = rng.integers(0, 10_000, size=config.s_rows)
         for i in range(config.s_rows):

@@ -28,13 +28,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Sequence, Tuple
 
-import numpy as np
-
 from ..engine.database import Database
 from ..engine.session import Session
 from ..query.expressions import avg, equals
 from ..query.plans import LogicalQuery, SelectionQuery, UpdateQuery
 from ..storage.schema import ColumnType
+from ._rng import default_rng
 
 #: Rows per warehouse at scale 1.0 (the TPC-C sizing rules).
 PAPER_CUSTOMER_ROWS = 30_000
@@ -94,7 +93,7 @@ class TPCCWorkload:
     def build(self, database: Optional[Database] = None) -> Database:
         config = self.config
         db = database or Database()
-        rng = np.random.default_rng(config.seed)
+        rng = default_rng(config.seed)
 
         db.create_table(self.CUSTOMER, [
             ("c_id", ColumnType.INT32),
@@ -124,7 +123,7 @@ class TPCCWorkload:
         return db
 
     # --------------------------------------------------------- transactions
-    def _new_order(self, rng: np.random.Generator, user: int) -> Transaction:
+    def _new_order(self, rng, user: int) -> Transaction:
         config = self.config
         customer = int(rng.integers(1, config.customer_rows + 1))
         statements: List[LogicalQuery] = [
@@ -140,7 +139,7 @@ class TPCCWorkload:
                                           set_value=quantity, label="no.stock"))
         return Transaction(kind="new_order", user=user, statements=tuple(statements))
 
-    def _payment(self, rng: np.random.Generator, user: int) -> Transaction:
+    def _payment(self, rng, user: int) -> Transaction:
         config = self.config
         customer = int(rng.integers(1, config.customer_rows + 1))
         amount = int(rng.integers(1, 5_000))
@@ -156,7 +155,7 @@ class TPCCWorkload:
     def transactions(self, count: int, seed: Optional[int] = None) -> Iterator[Transaction]:
         """Generate ``count`` transactions, interleaving the simulated users."""
         config = self.config
-        rng = np.random.default_rng(config.seed + 7 if seed is None else seed)
+        rng = default_rng(config.seed + 7 if seed is None else seed)
         for position in range(count):
             user = position % config.users
             if rng.random() < config.new_order_fraction:

@@ -28,12 +28,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
-import numpy as np
-
 from ..engine.database import Database
 from ..query.expressions import avg, count_star, range_predicate
 from ..query.plans import JoinQuery, LogicalQuery, SelectionQuery
 from ..storage.schema import ColumnType
+from ._rng import default_rng
 
 #: Scale of the paper's TPC-D run in bytes (100 MB); the default synthetic
 #: scale keeps the same >L2 relationship at a fraction of the size.
@@ -82,7 +81,7 @@ class TPCDWorkload:
         """Create and populate the four tables, plus the fact-table index."""
         config = self.config
         db = database or Database()
-        rng = np.random.default_rng(config.seed)
+        rng = default_rng(config.seed)
 
         db.create_table(self.LINEITEM, [
             ("l_orderkey", ColumnType.INT32),

@@ -1,0 +1,244 @@
+"""Differential tests: native charging fast paths vs. the pure-Python oracle.
+
+Beyond the cache automaton (tests/test_native_cache.py), the compiled
+``_cachesim`` extension carries whole *charging* operations: the processor's
+charged data/instruction accesses (``charged_strided``/``fetch_run``), the
+executor's full routine visit (``visit``: hot/cold fetch, fused counters,
+workspace churn, branch sites, bulk branches), workspace touches and the
+adaptive conjunct branch loop (``conjunct``).  The contract is total: every
+event counter, every cache/TLB/branch statistic, every piece of
+microarchitectural state (cache MRU order, TLB LRU order, BTB entry tags /
+histories / pattern tables) and every piece of executor bookkeeping (visit
+counter, cold/workspace cursors, bulk-misprediction carry, per-site state)
+must be byte-identical to the pure-Python code for any operation
+interleaving.
+
+The oracle side is obtained by clearing ``SimulatedProcessor._native_state``
+(and constructing the context afterwards, so ``ExecutionContext._native_ctx``
+stays ``None``) -- the same state ``REPRO_NATIVE=0`` produces at import time.
+"""
+
+import pytest
+
+from hypothesis import given, settings, strategies as st
+
+import repro.hardware.cache as cache_mod
+from repro.execution.context import ExecutionContext
+from repro.hardware.processor import SimulatedProcessor
+from repro.storage.address_space import AddressSpace
+from repro.systems import SYSTEM_A, SYSTEM_B
+
+pytestmark = pytest.mark.skipif(
+    cache_mod._NATIVE is None,
+    reason="native _cachesim extension unavailable; pure-Python path is the only path")
+
+
+# --------------------------------------------------------------------- state
+
+
+def processor_state(proc: SimulatedProcessor):
+    """Everything a charging call can change, microarchitectural state included."""
+    caches = proc.caches
+    return {
+        "user": dict(proc.counters.user),
+        "sup": dict(proc.counters.sup),
+        "l1d": ([list(lines) for lines in caches.l1d._sets],
+                [set(d) for d in caches.l1d._dirty],
+                caches.l1d.stats.as_dict()),
+        "l1i": ([list(lines) for lines in caches.l1i._sets],
+                caches.l1i.stats.as_dict()),
+        "l2": ([list(lines) for lines in caches.l2._sets],
+               [set(d) for d in caches.l2._dirty],
+               caches.l2.stats.as_dict()),
+        "dtlb": (list(proc.dtlb._entries), proc.dtlb.stats.as_dict()),
+        "itlb": (list(proc.itlb._entries), proc.itlb.stats.as_dict()),
+        "btb": [[(e.tag, e.history, tuple(e.counters)) for e in ways]
+                for ways in proc.branch_unit._sets],
+        "branch_stats": proc.branch_unit.stats.as_dict(),
+        "stall": proc._l1i_stall_cycles,
+        "last_page": proc._last_instruction_page,
+    }
+
+
+def context_state(ctx: ExecutionContext):
+    state = processor_state(ctx.processor)
+    state.update({
+        "visit_counter": ctx._visit_counter,
+        "cold_cursor": ctx._cold_cursor,
+        "workspace_cursor": ctx._workspace_cursor,
+        "bulk_carry": ctx._bulk_mispred_carry,
+        "site_state": dict(ctx._site_state),
+        "invocations": dict(ctx.op_invocations),
+    })
+    return state
+
+
+def assert_states_identical(native, oracle):
+    for key in native:
+        assert native[key] == oracle[key], f"{key} diverged"
+
+
+def processor_pair():
+    native = SimulatedProcessor()
+    oracle = SimulatedProcessor()
+    oracle._native_state = None
+    assert native._native_state is not None
+    return native, oracle
+
+
+def context_pair(profile=SYSTEM_B, charge_mode="span"):
+    def build(force_python):
+        proc = SimulatedProcessor()
+        if force_python:
+            proc._native_state = None
+        return ExecutionContext(proc, profile, AddressSpace(),
+                                charge_mode=charge_mode)
+    native, oracle = build(False), build(True)
+    assert native._native_ctx is not None
+    assert oracle._native_ctx is None
+    return native, oracle
+
+
+# --------------------------------------------------- processor-level charges
+
+
+def replay_processor(proc: SimulatedProcessor, trace):
+    results = []
+    for step in trace:
+        op, args = step[0], step[1:]
+        results.append(getattr(proc, op)(*args))
+    return results
+
+
+_addr = st.integers(min_value=0, max_value=1 << 16)
+_proc_step = st.one_of(
+    st.tuples(st.just("data_read"), _addr, st.integers(1, 64)),
+    st.tuples(st.just("data_write"), _addr, st.integers(1, 64)),
+    st.tuples(st.just("data_read_strided"), _addr, st.integers(-8, 96),
+              st.integers(1, 48), st.integers(1, 16)),
+    st.tuples(st.just("data_write_strided"), _addr, st.integers(-8, 96),
+              st.integers(1, 48), st.integers(1, 16)),
+    st.tuples(st.just("data_read_span"), _addr, st.integers(1, 512),
+              st.integers(1, 64)),
+    st.tuples(st.just("fetch_code_run"), _addr, st.integers(0, 40)),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(_proc_step, min_size=1, max_size=60))
+def test_processor_charges_identical(trace):
+    native, oracle = processor_pair()
+    assert replay_processor(native, trace) == replay_processor(oracle, trace)
+    assert_states_identical(processor_state(native), processor_state(oracle))
+
+
+def test_degenerate_strides_match_scalar_loop():
+    native, oracle = processor_pair()
+    for proc in (native, oracle):
+        proc.data_read_strided(0x4000, 0, 7, 4)      # stride 0: same element
+        proc.data_read_strided(0x5000, -16, 5, 4)    # negative stride
+        proc.data_write_strided(0x6000, 0, 3, 8)
+        proc.data_read_strided(0x7000, 32, 1, 4)     # count == 1
+    assert_states_identical(processor_state(native), processor_state(oracle))
+
+
+def test_finalized_cycles_identical_after_mixed_traffic():
+    native, oracle = processor_pair()
+    for proc in (native, oracle):
+        proc.fetch_code_run(0x1000, 24)
+        proc.data_read_strided(0x80000, 8, 4096, 4)
+        proc.data_write_strided(0x90000, 32, 512, 4)
+        for i in range(128):
+            proc.data_read(0xa0000 + i * 60, 4)
+        proc.retire(5000)
+    assert (native.finalize().as_dict() == oracle.finalize().as_dict())
+
+
+# ------------------------------------------------------ context-level visits
+
+
+def segment_names(ctx, limit=8):
+    return list(ctx.layout.segments())[:limit]
+
+
+def replay_context(ctx: ExecutionContext, trace):
+    names = segment_names(ctx)
+    for step in trace:
+        op = step[0]
+        if op == "visit":
+            _, which, taken = step
+            ctx.visit(names[which % len(names)], data_taken=taken)
+        elif op == "batch":
+            _, which, count = step
+            ctx.visit_batch(names[which % len(names)], count)
+        else:  # conjunct
+            _, which, site, outcomes = step
+            ctx.visit_conjunct_batch(names[which % len(names)],
+                                     outcomes, site=site)
+
+
+_ctx_step = st.one_of(
+    st.tuples(st.just("visit"), st.integers(0, 7),
+              st.sampled_from([None, False, True])),
+    st.tuples(st.just("batch"), st.integers(0, 7), st.integers(1, 40)),
+    st.tuples(st.just("conjunct"), st.integers(0, 7), st.integers(0, 5),
+              st.lists(st.booleans(), min_size=1, max_size=32)),
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(_ctx_step, min_size=1, max_size=40))
+def test_context_visits_identical(trace):
+    native, oracle = context_pair()
+    replay_context(native, trace)
+    replay_context(oracle, trace)
+    assert_states_identical(context_state(native), context_state(oracle))
+
+
+@pytest.mark.parametrize("profile", [SYSTEM_A, SYSTEM_B],
+                         ids=["system_a", "system_b"])
+def test_long_visit_sequence_identical(profile):
+    """Long enough to wrap the cold pool and the workspace, exercise every
+    branch-site kind repeatedly and accumulate a non-trivial bulk carry."""
+    native, oracle = context_pair(profile)
+    for ctx in (native, oracle):
+        names = segment_names(ctx)
+        for i in range(600):
+            ctx.visit(names[i % len(names)],
+                      data_taken=(None, True, False)[i % 3])
+        ctx.visit_batch(names[0], 200)
+        ctx.visit_conjunct_batch(names[1], [i % 3 != 0 for i in range(300)],
+                                 site=2)
+    assert_states_identical(context_state(native), context_state(oracle))
+
+
+def test_per_address_mode_stays_pure_python_and_equivalent():
+    """``per_address`` charging never takes the native visit path, so the
+    span-vs-per_address differential doubles as a native-vs-Python one."""
+    span, _ = context_pair(SYSTEM_B, charge_mode="span")
+    per_address = ExecutionContext(SimulatedProcessor(), SYSTEM_B,
+                                   AddressSpace(), charge_mode="per_address")
+    assert per_address._native_ctx is None
+    for ctx in (span, per_address):
+        names = segment_names(ctx)
+        for i in range(150):
+            ctx.visit(names[i % len(names)], data_taken=bool(i % 2))
+    native_state = context_state(span)
+    oracle_state = context_state(per_address)
+    for key in ("user", "dtlb", "itlb", "branch_stats", "btb",
+                "visit_counter", "workspace_cursor", "bulk_carry"):
+        assert native_state[key] == oracle_state[key], f"{key} diverged"
+
+
+def test_os_interference_disables_native_visit():
+    """With an OS model the visit must stay on Python (``charge_routine``
+    drives the interrupt hook); processor-level fast paths remain safe."""
+    from repro.hardware.os_interference import OSInterferenceConfig
+    proc = SimulatedProcessor(os_interference=OSInterferenceConfig())
+    ctx = ExecutionContext(proc, SYSTEM_B, AddressSpace())
+    assert ctx._native_ctx is None
+    assert proc._native_state is not None
+    names = segment_names(ctx)
+    for i in range(50):
+        ctx.visit(names[i % len(names)])  # smoke: interrupts still fire
+    assert proc.counters.sup.get("OS_INTERRUPTS", 0) >= 0
