@@ -12,9 +12,12 @@ with a too-small configured vector, runtime batch sizing) -- plus the
 memory-budget sweep ``SJB-inf/2x/1x/0.5x`` (the sequential join under a
 ``memory_budget_bytes`` of infinity / 2x / 1x / 0.5x the build side's
 footprint, exercising the grace/hybrid spilling path; the ``inf`` cells
-are gated cycle-identical to the plain ``SJ`` cells) -- and emits a
-``BENCH_<stamp>.json`` into ``benchmarks/results/`` (gitignored; override
-with ``--out-dir``) recording, per configuration:
+are gated cycle-identical to the plain ``SJ`` cells) -- and the
+concurrent-serving cells ``SRV-serial``/``SRV-8`` (the open-loop mixed
+arrival trace served back to back vs at concurrency 8 with plan/result
+caches and shared scans; throughput and p50/p95/p99 latency recorded) --
+and emits a ``BENCH_<stamp>.json`` into ``benchmarks/results/``
+(gitignored; override with ``--out-dir``) recording, per configuration:
 
 * ``wall_seconds`` -- best-of-``--repeat`` wall-clock time of the measured
   execution (the *simulator's* speed, which is what caps how large a
@@ -40,11 +43,13 @@ Usage::
     PYTHONPATH=src python scripts/run_bench.py
     PYTHONPATH=src python scripts/run_bench.py --repeat 5 --compare-to BENCH_x.json
     PYTHONPATH=src python scripts/run_bench.py --grid-workers 4 --parallelism 2
+    PYTHONPATH=src python scripts/run_bench.py --cells 'serving/*'
 """
 
 from __future__ import annotations
 
 import argparse
+import fnmatch
 import json
 import os
 import platform
@@ -60,6 +65,7 @@ from repro.experiments.runner import ExperimentConfig, ExperimentRunner
 from repro.hardware.counters import EventCounters
 from repro.systems import SYSTEM_B
 from repro.workloads.micro import MicroWorkloadConfig
+from repro.workloads.serving import ServingTraceConfig, build_trace, run_open_loop
 
 ENGINES = ("tuple", "vectorized")
 LAYOUTS = ("nsm", "pax")
@@ -98,6 +104,18 @@ ADAPTIVE_KINDS = {
     "AJS": {"adaptive_joins": True, "warmup_runs": 1},
     "ABS": {"adaptive_batching": True, "batch_size": 32},
 }
+
+#: Concurrent-serving cells: the open-loop mixed-class arrival trace
+#: (:mod:`repro.workloads.serving`) driven through the serving layer.
+#: ``SRV-serial`` serves the trace back to back (``max_concurrency=1``,
+#: plan/result caches and shared scans all off -- per-query counts are
+#: bit-identical to solo sessions, so its *total* cycles are gated like any
+#: other cell); ``SRV-8`` serves the same trace at ``max_concurrency=8``
+#: with every layer on.  Both record throughput and p50/p95/p99 latency
+#: under the driver's virtual clock; the serving summary reports SRV-8's
+#: throughput multiple over SRV-serial (the acceptance criterion is >= 2x).
+SERVING_KINDS = ("SRV-serial", "SRV-8")
+SERVING_QUERIES = 48
 
 #: The configuration whose wall clock the perf acceptance criteria track.
 HEADLINE = ("vectorized", "pax", "SRS")
@@ -230,25 +248,95 @@ def measure_cell(runner: ExperimentRunner, engine: str, layout: str, kind: str,
     return point
 
 
+def measure_serving_cell(runner: ExperimentRunner, layout: str, kind: str,
+                         repeat: int, kernel_backend: str = "auto") -> dict:
+    """Best-of-``repeat`` open-loop serving run of the mixed arrival trace.
+
+    Each repeat drives a **fresh** server over the same deterministic trace;
+    the run's total simulated cycles and total result rows are asserted
+    identical across repeats (the serving layers are count-deterministic
+    regardless of how wall-clock timing shapes the admission rounds), while
+    the best wall clock / its throughput and latency percentiles are kept.
+    """
+    trace = build_trace(runner.micro_workload,
+                        ServingTraceConfig(queries=SERVING_QUERIES))
+    concurrent = kind != "SRV-serial"
+    best = None
+    best_report = None
+    cycles = None
+    total_rows = None
+    for _ in range(max(repeat, 1)):
+        server = runner.serving_server(
+            layout, max_concurrency=8 if concurrent else 1,
+            plan_cache=concurrent, result_cache=concurrent,
+            shared_scans=concurrent, kernel_backend=kernel_backend)
+        start = time.perf_counter()
+        report = run_open_loop(server, trace)
+        elapsed = time.perf_counter() - start
+        if cycles is not None and (report.total_cycles != cycles
+                                   or report.total_rows != total_rows):
+            raise AssertionError(
+                f"serving/{layout}/{kind} diverged across repeats: cycles "
+                f"{report.total_cycles} vs {cycles}, rows "
+                f"{report.total_rows} vs {total_rows}")
+        cycles = report.total_cycles
+        total_rows = report.total_rows
+        if best is None or elapsed < best:
+            best = elapsed
+            best_report = report
+    return {"engine": "serving", "layout": layout, "query": kind,
+            "adaptivity": "off",
+            "kernel_backend": kernel_backend,
+            "resolved_kernel_backend": kernel_backend,
+            "wall_seconds": round(best, 6), "cycles": cycles,
+            "branch_mispredictions":
+                best_report.counters.get("BR_MISS_PRED_RETIRED"),
+            "result_rows": total_rows,
+            "serving": {
+                "max_concurrency": 8 if concurrent else 1,
+                "queries": best_report.queries,
+                "rounds": best_report.rounds,
+                "throughput_qps": round(best_report.throughput_qps, 3),
+                "latency_p50": round(best_report.latency_p50, 6),
+                "latency_p95": round(best_report.latency_p95, 6),
+                "latency_p99": round(best_report.latency_p99, 6),
+                "stats": best_report.stats,
+            },
+            "_counters": best_report.counters}
+
+
 #: Runner inherited by forked grid workers.
 _BENCH_RUNNER: Optional[ExperimentRunner] = None
 _BENCH_REPEAT = 1
 _BENCH_PROFILE = False
 
 
-def _measure_cell_task(cell: Tuple[str, str, str, str, str]) -> dict:
+def _measure_any_cell(runner: ExperimentRunner,
+                      cell: Tuple[str, str, str, str, str],
+                      repeat: int, profile: bool) -> dict:
     engine, layout, kind, adaptivity, backend = cell
-    point = measure_cell(_BENCH_RUNNER, engine, layout, kind,
-                         repeat=_BENCH_REPEAT, adaptivity=adaptivity,
-                         kernel_backend=backend, profile=_BENCH_PROFILE)
+    if engine == "serving":
+        return measure_serving_cell(runner, layout, kind, repeat=repeat,
+                                    kernel_backend=backend)
+    return measure_cell(runner, engine, layout, kind, repeat=repeat,
+                        adaptivity=adaptivity, kernel_backend=backend,
+                        profile=profile)
+
+
+def _measure_cell_task(cell: Tuple[str, str, str, str, str]) -> dict:
+    point = _measure_any_cell(_BENCH_RUNNER, cell, _BENCH_REPEAT,
+                              _BENCH_PROFILE)
     point["_counters"] = point["_counters"].as_dict()
     return point
 
 
-def grid_cells(kernel_backends: Tuple[str, ...] = DEFAULT_KERNEL_BACKENDS
+def grid_cells(kernel_backends: Tuple[str, ...] = DEFAULT_KERNEL_BACKENDS,
+               cells_filter: Optional[str] = None
                ) -> List[Tuple[str, str, str, str, str]]:
-    """The 12 engine x layout x query cells plus the adaptivity and
-    memory-budget sweep cells, each measured per kernel backend."""
+    """The 12 engine x layout x query cells plus the adaptivity,
+    memory-budget and concurrent-serving cells, each measured per kernel
+    backend.  ``cells_filter`` keeps only the cells whose display name
+    (``engine/layout/query[/adaptivity][/backend]``) matches the glob."""
     cells = [(engine, layout, kind, "off") for engine in ENGINES
              for layout in LAYOUTS for kind in QUERY_KINDS]
     cells.extend(("vectorized", layout, kind, mode)
@@ -256,22 +344,40 @@ def grid_cells(kernel_backends: Tuple[str, ...] = DEFAULT_KERNEL_BACKENDS
                  for layout in LAYOUTS for mode in ADAPTIVE_MODES)
     cells.extend(("vectorized", layout, kind, "off")
                  for layout in LAYOUTS for kind in BUDGET_KINDS)
-    return [cell + (backend,) for backend in kernel_backends for cell in cells]
+    cells.extend(("serving", layout, kind, "off")
+                 for layout in LAYOUTS for kind in SERVING_KINDS)
+    expanded = [cell + (backend,) for backend in kernel_backends
+                for cell in cells]
+    if cells_filter:
+        expanded = [cell for cell in expanded
+                    if fnmatch.fnmatchcase(_cell_tuple_name(cell),
+                                           cells_filter)]
+    return expanded
+
+
+def _cell_tuple_name(cell: Tuple[str, str, str, str, str]) -> str:
+    """Display name of a not-yet-measured cell (mirrors ``_cell_name``)."""
+    engine, layout, kind, adaptivity, backend = cell
+    name = f"{engine}/{layout}/{kind}"
+    if adaptivity != "off":
+        name += f"/{adaptivity}"
+    if backend != "auto":
+        name += f"/{backend}"
+    return name
 
 
 def run_grid(runner: ExperimentRunner, repeat: int, grid_workers: int,
              kernel_backends: Tuple[str, ...] = DEFAULT_KERNEL_BACKENDS,
-             profile: bool = False) -> List[dict]:
+             profile: bool = False,
+             cells_filter: Optional[str] = None) -> List[dict]:
     """Measure all grid cells, serially or via a fork-based process pool."""
-    cells = grid_cells(kernel_backends)
+    cells = grid_cells(kernel_backends, cells_filter=cells_filter)
     if grid_workers > 1 and not fork_available():
         grid_workers = 1
     if grid_workers <= 1:
         points = []
-        for engine, layout, kind, adaptivity, backend in cells:
-            point = measure_cell(runner, engine, layout, kind, repeat=repeat,
-                                 adaptivity=adaptivity, kernel_backend=backend,
-                                 profile=profile)
+        for cell in cells:
+            point = _measure_any_cell(runner, cell, repeat, profile)
             point["_counters"] = point["_counters"].as_dict()
             points.append(point)
         return points
@@ -359,6 +465,50 @@ def adaptivity_summary(points: List[dict]) -> Dict[str, dict]:
                 "cycle_reduction": round(
                     1.0 - greedy["cycles"] / max(static["cycles"], 1), 4),
             }
+    return summary
+
+
+def serving_summary(points: List[dict]) -> Dict[str, dict]:
+    """Concurrent serving vs back-to-back serial, per layout.
+
+    The paper-facing payoff of the serving layer: SRV-8 (concurrency 8,
+    plan/result caches + shared scans) against SRV-serial (the same
+    deterministic trace served back to back) — the throughput multiple is
+    the acceptance criterion (>= 2x), with the latency percentiles and the
+    cache/shared-scan hit counts recorded as evidence of *why*.
+    """
+    by_key = {_cell_key(p): p for p in points}
+    backends = list(dict.fromkeys(p.get("kernel_backend", "auto")
+                                  for p in points))
+    summary: Dict[str, dict] = {}
+    for layout in LAYOUTS:
+        for backend in backends:
+            serial = by_key.get(("serving", layout, "SRV-serial", "off",
+                                 backend))
+            concurrent = by_key.get(("serving", layout, "SRV-8", "off",
+                                     backend))
+            if serial is not None and concurrent is not None:
+                break
+        if serial is None or concurrent is None:
+            continue
+        serial_srv = serial["serving"]
+        concurrent_srv = concurrent["serving"]
+        summary[layout] = {
+            "serial_throughput_qps": serial_srv["throughput_qps"],
+            "serving_throughput_qps": concurrent_srv["throughput_qps"],
+            "throughput_multiple": round(
+                concurrent_srv["throughput_qps"]
+                / max(serial_srv["throughput_qps"], 1e-9), 3),
+            "serial_latency_p50": serial_srv["latency_p50"],
+            "serving_latency_p50": concurrent_srv["latency_p50"],
+            "serving_latency_p95": concurrent_srv["latency_p95"],
+            "serving_latency_p99": concurrent_srv["latency_p99"],
+            "result_cache_hits":
+                concurrent_srv["stats"]["result_cache_hits"],
+            "plan_cache_hits": concurrent_srv["stats"]["plan_cache_hits"],
+            "shared_scan_reuses":
+                concurrent_srv["stats"]["shared_scan_reuses"],
+        }
     return summary
 
 
@@ -494,6 +644,11 @@ def main() -> int:
     parser.add_argument("--profile", action="store_true",
                         help="record a per-cell wall breakdown (session setup "
                              "vs measured execute) in each cell and print it")
+    parser.add_argument("--cells", default=None, metavar="GLOB",
+                        help="measure only the grid cells whose name "
+                             "(engine/layout/query[/adaptivity][/backend]) "
+                             "matches this glob, e.g. 'serving/*' or "
+                             "'*/pax/SRS' (default: all cells)")
     args = parser.parse_args()
     kernel_backends = tuple(
         backend.strip() for backend in args.kernel_backends.split(",")
@@ -507,11 +662,22 @@ def main() -> int:
     build_seconds = time.perf_counter() - build_start
 
     points = run_grid(runner, args.repeat, args.grid_workers,
-                      kernel_backends=kernel_backends, profile=args.profile)
+                      kernel_backends=kernel_backends, profile=args.profile,
+                      cells_filter=args.cells)
+    if not points:
+        print(f"no grid cells match --cells {args.cells!r}")
+        return 1
     for point in points:
         line = (f"{_cell_name(point):>26}: {point['wall_seconds']:.3f}s wall, "
                 f"{point['cycles']:,} simulated cycles, "
                 f"{point['branch_mispredictions']:,} mispredictions")
+        if "serving" in point:
+            srv = point["serving"]
+            line += (f", {srv['throughput_qps']:.1f} q/s, p50 "
+                     f"{srv['latency_p50'] * 1000:.1f}ms, p95 "
+                     f"{srv['latency_p95'] * 1000:.1f}ms, p99 "
+                     f"{srv['latency_p99'] * 1000:.1f}ms "
+                     f"({srv['queries']} queries, {srv['rounds']} rounds)")
         if "io_stats" in point:
             budget = point["memory_budget_bytes"]
             line += (f", budget={budget if budget is not None else 'inf'}, "
@@ -552,8 +718,11 @@ def main() -> int:
         "headline": {"engine": HEADLINE[0], "layout": HEADLINE[1],
                      "query": HEADLINE[2]},
         "adaptivity": adaptivity_summary(configs),
+        "serving": serving_summary(configs),
         "configs": configs,
     }
+    if args.cells:
+        report["cells_filter"] = args.cells
     print(f"\ngrid wall: {grid_wall:.3f}s end-to-end "
           f"({build_seconds:.3f}s for {len(LAYOUTS)} database builds, "
           f"repeat={args.repeat}, grid_workers={args.grid_workers}, "
@@ -564,6 +733,13 @@ def main() -> int:
               f"({summary['static_mispredictions']:,} -> "
               f"{summary['greedy_mispredictions']:,}), "
               f"{summary['cycle_reduction']:.1%} fewer cycles")
+    for layout, summary in report["serving"].items():
+        print(f"serving {layout}: {summary['throughput_multiple']}x throughput "
+              f"vs serial ({summary['serial_throughput_qps']:.1f} -> "
+              f"{summary['serving_throughput_qps']:.1f} q/s; "
+              f"{summary['result_cache_hits']} result-cache hits, "
+              f"{summary['plan_cache_hits']} plan-cache hits, "
+              f"{summary['shared_scan_reuses']} shared-scan reuses)")
 
     exit_code = 0
     budget_violations = budget_identity_violations(configs)

@@ -192,7 +192,8 @@ class Session:
                 warmup_runs: int = 1,
                 queries_per_unit: int = 1,
                 label: str = "",
-                warmup_query: Optional[LogicalQuery] = None) -> QueryResult:
+                warmup_query: Optional[LogicalQuery] = None,
+                plan: Optional[PhysicalPlan] = None) -> QueryResult:
         """Measure ``query`` following the paper's methodology.
 
         ``warmup_runs`` executions are performed first to warm the caches,
@@ -206,8 +207,14 @@ class Session:
         exercises the same code paths and index structure without parking the
         measured window's records in the L2 cache (at the paper's full scale
         the 10% window is 23x the L2, so this distinction does not arise).
+
+        ``plan`` optionally supplies a pre-planned physical plan for
+        ``query`` (the serving layer's plan cache skips the planner this
+        way); ``None`` plans the query here.  Planning charges nothing to
+        the simulated hardware, so a cached plan changes no counts.
         """
-        plan = self.plan(query)
+        if plan is None:
+            plan = self.plan(query)
         label = label or getattr(query, "label", "") or type(query).__name__
 
         warmup_plan = self.plan(warmup_query) if warmup_query is not None else plan

@@ -144,6 +144,22 @@ class ExecutionContext:
         #: replay their charge tapes here, in canonical order.
         self.parallel = None
 
+        #: Optional shared-scan coordinator
+        #: (:class:`~repro.execution.parallel.SharedScanCoordinator`),
+        #: attached by the serving layer for one admission round.  When set,
+        #: vectorized sequential scans attach to (or record) one in-flight
+        #: morsel stream per scan signature: the stream's charge tapes are
+        #: replayed into this context, so the data work runs once per round
+        #: while simulated counts stay identical to a solo execution.
+        #: ``None`` (the default) leaves every code path untouched.
+        self.shared_scans = None
+
+        #: Backing-store region name for spill buffer pools (``None`` = the
+        #: shared ``disk`` region).  The serving layer points each logical
+        #: session at a private, region-size-aligned namespace so concurrent
+        #: memory-budgeted joins cannot collide on backing-store pages.
+        self.disk_namespace: Optional[str] = None
+
         #: Optional micro-adaptive execution manager
         #: (:class:`~repro.adaptive.AdaptiveExecution`), attached by the
         #: session when ``adaptivity != "off"``.  When set, vectorized

@@ -59,6 +59,7 @@ __all__ = [
     "ChargeOp", "TapeRecorder", "MorselSpec", "MorselResult",
     "ParallelExecution", "VecExchangeOperator", "replay_tape",
     "fork_available", "partition_pages",
+    "RecordedScan", "SharedScanCoordinator", "SharedScanReplayOperator",
 ]
 
 #: One recorded charge: an opcode tuple.  Kept as plain tuples of scalars so
@@ -434,6 +435,117 @@ class ParallelExecution:
         futures = [pool.submit(_run_scan_morsel, spec) for spec in specs]
         for future in futures:
             yield future.result()
+
+
+# ---------------------------------------------------------------------------
+# Shared scans
+# ---------------------------------------------------------------------------
+@dataclass
+class RecordedScan:
+    """One table scan's full output, recorded once and replayed per query.
+
+    ``batches``/``trailing_ops`` have exactly the :class:`MorselResult`
+    shape (the recording *is* one whole-table morsel).  The batch column
+    vectors are handed to every attached query's operator tree by
+    reference: no operator mutates batch columns in place (filters gather
+    into fresh vectors, joins merge into new dictionaries), so sharing is
+    safe and costs nothing per attachment.
+    """
+
+    batches: List[Tuple[Dict[str, list], int, List[ChargeOp]]]
+    trailing_ops: List[ChargeOp]
+    attachments: int = 0
+
+
+class SharedScanCoordinator:
+    """One admission round's shared-scan registry.
+
+    Concurrent queries whose plans contain the *same* sequential-scan leaf
+    (same table, predicate, output columns, batch size, charge mode and
+    profile) attach to one in-flight morsel stream: the first attachment
+    runs the scan's data work once against a :class:`TapeRecorder` (one
+    whole-table morsel), and every attachment — including the first —
+    consumes the recording through a :class:`SharedScanReplayOperator` that
+    replays the charge tapes into that query's own
+    :class:`~repro.execution.context.ExecutionContext`.  Replay is the
+    exact serial charge sequence (the PR 3 contract), so every attached
+    query's rows *and* simulated counts are identical to executing it
+    alone; only the host-side data work is deduplicated.
+
+    The coordinator holds live table data, so its lifetime must not span a
+    table update — the serving layer creates a fresh one per admission
+    round.
+    """
+
+    def __init__(self, database) -> None:
+        self.database = database
+        self._recordings: Dict[tuple, RecordedScan] = {}
+        #: Scans actually executed (cache misses).
+        self.recordings = 0
+        #: Attachments that rode an existing recording (pure savings).
+        self.reuses = 0
+        #: Total attachments (``recordings + reuses``).
+        self.attachments = 0
+
+    def attach(self, table, ctx, predicate, output_columns: Sequence[str],
+               next_operation: str, batch_size: int,
+               count_records: bool = True) -> "SharedScanReplayOperator":
+        """Return a replay operator for this scan, recording it on first use."""
+        key = (table.name, repr(predicate), tuple(output_columns),
+               next_operation, int(batch_size), bool(count_records),
+               ctx.charge_mode, ctx.profile.key)
+        recording = self._recordings.get(key)
+        if recording is None:
+            spec = MorselSpec(table=table.name, page_start=0,
+                              page_stop=table.heap.page_count,
+                              predicate=predicate,
+                              output_columns=tuple(output_columns),
+                              next_operation=next_operation,
+                              batch_size=int(batch_size),
+                              count_records=count_records,
+                              charge_mode=ctx.charge_mode,
+                              profile=ctx.profile)
+            result = _run_scan_morsel_on(self.database, spec)
+            recording = RecordedScan(result.batches, result.trailing_ops)
+            self._recordings[key] = recording
+            self.recordings += 1
+        else:
+            self.reuses += 1
+        self.attachments += 1
+        recording.attachments += 1
+        return SharedScanReplayOperator(recording, ctx)
+
+
+class SharedScanReplayOperator:
+    """Feeds one query's operator tree from a :class:`RecordedScan`.
+
+    Indistinguishable from the serial
+    :class:`~repro.execution.vectorized.VecSeqScanOperator` downstream:
+    batches arrive in the same order with the same contents, and each
+    batch's tape is replayed into the query's own context immediately
+    before the batch is yielded — the same interleaving of scan charges and
+    downstream-operator charges as a solo run, hence identical counts.
+    """
+
+    def __init__(self, recording: RecordedScan, ctx) -> None:
+        self.recording = recording
+        self.ctx = ctx
+
+    def batches(self):
+        from .vectorized import ColumnBatch
+        ctx = self.ctx
+        for columns, length, ops in self.recording.batches:
+            replay_tape(ops, ctx)
+            yield ColumnBatch(columns, length)
+        if self.recording.trailing_ops:
+            replay_tape(self.recording.trailing_ops, ctx)
+
+    def rows(self):
+        for batch in self.batches():
+            yield from batch.to_rows()
+
+    def __iter__(self):
+        return self.rows()
 
 
 # ---------------------------------------------------------------------------

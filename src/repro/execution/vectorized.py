@@ -49,7 +49,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..adaptive.policy import plan_partition_count
 from ..index.btree import BTreeIndex
-from ..storage.buffer_pool import BufferPool
+from ..storage.buffer_pool import BACKING_REGION, BufferPool
 from ..storage.page import DEFAULT_PAGE_SIZE
 from ..query.expressions import Aggregate, AggregateState, Expression
 from ..query.plans import (KERNEL_BACKEND_AUTO, AggregatePlan, ExecutionConfig,
@@ -1009,10 +1009,16 @@ class VecHashJoinOperator(VectorOperator):
             nonlocal spill_pool
             if spill_pool is None:
                 page_size = DEFAULT_PAGE_SIZE
+                # Concurrent logical sessions spill into private backing
+                # namespaces (ctx.disk_namespace, set by the serving layer)
+                # so their backing-store pages cannot collide; solo sessions
+                # keep the shared "disk" region.
+                backing = getattr(ctx, "disk_namespace", None) or BACKING_REGION
                 spill_pool = BufferPool(ctx.address_space, region="workspace",
                                         page_size=page_size,
                                         capacity_pages=max(budget // page_size, 1),
-                                        io=ctx)
+                                        io=ctx,
+                                        backing_region=backing)
                 self.spill_pool = spill_pool
             return spill_pool
 
@@ -1411,9 +1417,25 @@ def build_vectorized_scan(plan: ScanPlan, catalog: Catalog, ctx: ExecutionContex
     and simulated counts stay bit-identical to the serial operator.
     ``allow_exchange=False`` pins a scan to the serial path (rescanned
     nested-loop inners, update lookups).
+
+    When the context instead carries a shared-scan coordinator
+    (``ctx.shared_scans``, attached by the serving layer for one admission
+    round), sequential scans attach to the round's recorded morsel stream
+    for their signature: the scan's data work runs once per round and its
+    charge tapes are replayed into each attached query's own context --
+    again count-identical to the serial operator.  Sharing steps aside for
+    adaptive or morsel-parallel contexts (their scan charges depend on
+    per-context runtime state) and for ``allow_exchange=False`` scans.
     """
     if isinstance(plan, SeqScanPlan):
         table = catalog.table(plan.table)
+        shared = getattr(ctx, "shared_scans", None)
+        if (allow_exchange and shared is not None
+                and getattr(ctx, "adaptive", None) is None
+                and getattr(ctx, "parallel", None) is None):
+            return shared.attach(table, ctx, plan.predicate,
+                                 ctx.columns_for_table(table, output_columns),
+                                 next_operation, batch_size)
         parallel = getattr(ctx, "parallel", None)
         if allow_exchange and parallel is not None and parallel.workers > 1:
             from .parallel import VecExchangeOperator  # deferred: imports us

@@ -372,6 +372,37 @@ class ExperimentRunner:
                        adaptive_batching=adaptive_batching,
                        **kwargs)
 
+    def serving_server(self, layout: str, *, system_key: str = "B",
+                       max_concurrency: int = 8,
+                       plan_cache: bool = True,
+                       result_cache: bool = True,
+                       shared_scans: bool = True,
+                       engine: str = "vectorized",
+                       memory_budget_bytes: Optional[int] = None,
+                       kernel_backend: Optional[str] = None):
+        """A serving :class:`~repro.serving.server.Server` over the cached
+        grid build for ``layout``.
+
+        The server restores the build's checkpoint before every query it
+        serves, so — like :meth:`grid_session` — serving cells measure
+        against fresh-build-identical state regardless of what ran before.
+        With ``max_concurrency=1`` and all three layers disabled the server
+        degenerates to back-to-back solo sessions (the bench's serial
+        serving baseline).
+        """
+        from ..serving import Server
+        database, checkpoint = self.grid_database(layout)
+        kwargs = {}
+        if kernel_backend is not None:
+            kwargs["kernel_backend"] = kernel_backend
+        return Server(database, checkpoint, system_by_key(system_key),
+                      spec=self.config.spec,
+                      os_interference=self.config.os_config(),
+                      max_concurrency=max_concurrency,
+                      plan_cache=plan_cache, result_cache=result_cache,
+                      shared_scans=shared_scans, engine=engine,
+                      memory_budget_bytes=memory_budget_bytes, **kwargs)
+
     def grid_cell(self, engine: str, layout: str, kind: str,
                   system_key: str = "B") -> QueryResult:
         """Measure one engine x layout x query cell (cold, warmup_runs=0)."""

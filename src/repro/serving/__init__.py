@@ -1,0 +1,13 @@
+"""Concurrent query serving: queued admission over one shared build.
+
+See :mod:`repro.serving.server` for the serving model and
+:mod:`repro.serving.cache` for plan/result cache keying and invalidation.
+"""
+
+from .cache import (CachedResult, PlanCache, ResultCache, normalize_query,
+                    query_tables)
+from .server import QueryOutcome, Server, ServerStats, ServingFuture
+
+__all__ = ["Server", "ServingFuture", "QueryOutcome", "ServerStats",
+           "PlanCache", "ResultCache", "CachedResult", "normalize_query",
+           "query_tables"]

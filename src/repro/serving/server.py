@@ -1,0 +1,370 @@
+"""A queued admission front-end over one shared warmed database build.
+
+:class:`Server` is the serving layer the ROADMAP's "heavy traffic" north
+star calls for: many logical sessions against **one** warmed database build,
+admitted in rounds of at most ``max_concurrency`` queries.  Every admitted
+query gets what the measurement discipline requires — its own simulated
+processor, its own :class:`~repro.execution.context.ExecutionContext`, and
+an address space rolled back to the post-build checkpoint — so each query's
+rows and simulated counts are exactly those of a solo session against a
+fresh build.  On top of that baseline, three stacked performance layers
+remove *host-side* work without touching the per-query simulated story:
+
+1. a **plan cache** (:class:`~repro.serving.cache.PlanCache`): repeated
+   query classes skip the planner (whose selectivity estimate samples the
+   heap — real wall-clock cost, zero simulated cost);
+2. a **result cache** (:class:`~repro.serving.cache.ResultCache`): a
+   repeat of a query whose tables have not changed returns the cached rows
+   with a small charged cache-probe cost instead of re-executing — the one
+   layer that (by design, and documented in DESIGN.md) changes a query's
+   simulated counts;
+3. **shared scans**
+   (:class:`~repro.execution.parallel.SharedScanCoordinator`): queries of
+   one admission round whose plans contain the same sequential-scan leaf
+   ride one recorded morsel stream; each query replays the stream's charge
+   tapes into its own context, keeping counts identical to solo execution
+   while the scan's data work runs once per round.
+
+Concurrency here is *logical*: queries of a round are served back to back on
+the host (the simulator is single-threaded by design), and the open-loop
+driver (:mod:`repro.workloads.serving`) accounts for time with a virtual
+clock advanced by measured service wall time — so throughput and latency
+percentiles mean what they would in a real queued server.
+
+With every layer disabled (``plan_cache=False, result_cache=False,
+shared_scans=False``) the server is a thin loop over
+``Session.execute(query, warmup_runs=0)`` and is bit-identical to running
+each query in its own solo session — the differential tests assert this.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..analysis.breakdown import ExecutionBreakdown
+from ..analysis.metrics import compute_metrics
+from ..engine.database import Database
+from ..engine.session import QueryResult, Session
+from ..execution.parallel import SharedScanCoordinator
+from ..hardware.counters import EventCounters
+from ..hardware.os_interference import OSInterferenceConfig
+from ..hardware.specs import PENTIUM_II_XEON, ProcessorSpec
+from ..query.plans import (CHARGE_SPAN, DEFAULT_BATCH_SIZE,
+                           KERNEL_BACKEND_AUTO, LogicalQuery, UpdateQuery)
+from ..systems.profile import SystemProfile
+from .cache import PlanCache, ResultCache, normalize_query, query_tables
+
+__all__ = ["Server", "ServingFuture", "QueryOutcome", "ServerStats"]
+
+#: Bytes of the simulated result-cache directory entry a hit probes.
+_PROBE_ENTRY_BYTES = 64
+#: Bytes of the entry actually read on a hit (key hash + rows pointer).
+_PROBE_READ_BYTES = 16
+
+
+@dataclass
+class QueryOutcome:
+    """What the server did for one submitted query."""
+
+    result: QueryResult
+    plan_cached: bool = False
+    result_cached: bool = False
+    #: True when this query rode a scan recorded by an *earlier* query of
+    #: its admission round (the recording query itself reports False).
+    shared_scan: bool = False
+    #: Host wall-clock seconds this query's service took.
+    service_seconds: float = 0.0
+
+    @property
+    def rows(self) -> List[Dict[str, object]]:
+        return self.result.rows
+
+    @property
+    def cycles(self) -> int:
+        return self.result.counters.get("CPU_CLK_UNHALTED")
+
+
+class ServingFuture:
+    """Handle for a submitted query; resolves when its round is served."""
+
+    __slots__ = ("_server", "index", "query", "label", "outcome")
+
+    def __init__(self, server: "Server", index: int, query: LogicalQuery,
+                 label: str) -> None:
+        self._server = server
+        self.index = index
+        self.query = query
+        self.label = label
+        self.outcome: Optional[QueryOutcome] = None
+
+    def done(self) -> bool:
+        return self.outcome is not None
+
+    def result(self) -> QueryOutcome:
+        """The outcome, serving queued rounds until this query completes."""
+        while self.outcome is None:
+            served, _ = self._server.step()
+            if not served:
+                raise RuntimeError("future cannot resolve: server queue idle")
+        return self.outcome
+
+
+@dataclass
+class ServerStats:
+    """Cumulative serving statistics."""
+
+    submitted: int = 0
+    completed: int = 0
+    rounds: int = 0
+    plan_cache_hits: int = 0
+    result_cache_hits: int = 0
+    shared_scan_recordings: int = 0
+    shared_scan_reuses: int = 0
+    updates: int = 0
+    epochs: Dict[str, int] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {"submitted": self.submitted, "completed": self.completed,
+                "rounds": self.rounds,
+                "plan_cache_hits": self.plan_cache_hits,
+                "result_cache_hits": self.result_cache_hits,
+                "shared_scan_recordings": self.shared_scan_recordings,
+                "shared_scan_reuses": self.shared_scan_reuses,
+                "updates": self.updates}
+
+
+class Server:
+    """Queued query serving against one shared warmed database build.
+
+    ``database``/``checkpoint`` are a warmed build and its post-build
+    address-space checkpoint (e.g. from
+    :meth:`~repro.experiments.runner.ExperimentRunner.grid_database`).  The
+    server restores the checkpoint before serving each query, which is what
+    makes every query's addresses — and therefore its simulated counts —
+    identical to a solo session against a fresh build.
+
+    ``max_concurrency`` bounds how many queued queries one admission round
+    serves (and how many logical-session spill namespaces exist);
+    ``plan_cache``/``result_cache``/``shared_scans`` toggle the three
+    performance layers independently.  The remaining knobs configure the
+    per-query measurement sessions exactly as :class:`Session` would.
+    """
+
+    def __init__(self, database: Database, checkpoint: Dict[str, int],
+                 profile: SystemProfile,
+                 spec: ProcessorSpec = PENTIUM_II_XEON, *,
+                 max_concurrency: int = 8,
+                 plan_cache: bool = True,
+                 result_cache: bool = True,
+                 shared_scans: bool = True,
+                 engine: str = "vectorized",
+                 batch_size: int = DEFAULT_BATCH_SIZE,
+                 charge_mode: str = CHARGE_SPAN,
+                 memory_budget_bytes: Optional[int] = None,
+                 kernel_backend: str = KERNEL_BACKEND_AUTO,
+                 os_interference: Optional[OSInterferenceConfig] = None) -> None:
+        if max_concurrency < 1:
+            raise ValueError("max_concurrency must be at least 1")
+        self.database = database
+        self.checkpoint = dict(checkpoint)
+        self.profile = profile
+        self.spec = spec
+        self.max_concurrency = max_concurrency
+        self.engine = engine
+        self.batch_size = batch_size
+        self.charge_mode = charge_mode
+        self.memory_budget_bytes = memory_budget_bytes
+        self.kernel_backend = kernel_backend
+        self.os_interference = os_interference
+        self.plan_cache: Optional[PlanCache] = PlanCache() if plan_cache else None
+        self.result_cache: Optional[ResultCache] = (ResultCache()
+                                                    if result_cache else None)
+        self.shared_scans = shared_scans
+        self.stats = ServerStats()
+        self._queue: Deque[ServingFuture] = deque()
+        self._submitted = 0
+        #: Memoized probe charge per cached-result row count; the probe
+        #: simulation is deterministic, so re-running it per hit would only
+        #: burn wall time producing identical counters.
+        self._probe_memo: Dict[int, Tuple[dict, dict]] = {}
+
+    # ---------------------------------------------------------------- intake
+    def submit(self, query: LogicalQuery, label: str = "") -> ServingFuture:
+        """Enqueue a query; returns a future resolved when its round runs."""
+        future = ServingFuture(self, self._submitted, query,
+                               label or getattr(query, "label", "")
+                               or type(query).__name__)
+        self._submitted += 1
+        self.stats.submitted += 1
+        self._queue.append(future)
+        return future
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    # --------------------------------------------------------------- serving
+    def step(self) -> Tuple[List[ServingFuture], float]:
+        """Serve one admission round (≤ ``max_concurrency`` queued queries).
+
+        Returns the served futures and the round's host wall-clock seconds.
+        An empty queue returns ``([], 0.0)``.
+        """
+        if not self._queue:
+            return [], 0.0
+        admitted = [self._queue.popleft()
+                    for _ in range(min(self.max_concurrency, len(self._queue)))]
+        round_start = time.perf_counter()
+        coordinator = (SharedScanCoordinator(self.database)
+                       if self.shared_scans else None)
+        for future in admitted:
+            self._serve_one(future, coordinator)
+        if coordinator is not None:
+            self.stats.shared_scan_recordings += coordinator.recordings
+            self.stats.shared_scan_reuses += coordinator.reuses
+        self.stats.rounds += 1
+        return admitted, time.perf_counter() - round_start
+
+    def run_until_idle(self) -> List[ServingFuture]:
+        """Serve rounds until the queue drains; returns every served future."""
+        served: List[ServingFuture] = []
+        while self._queue:
+            done, _ = self.step()
+            served.extend(done)
+        return served
+
+    # ------------------------------------------------------------- internals
+    def _epoch(self, table: str) -> int:
+        return self.stats.epochs.get(table, 0)
+
+    def _session(self, index: int) -> Session:
+        """A fresh measurement session for one admitted query.
+
+        The address space is rolled back to the shared build's checkpoint
+        first, so the session's transient allocations land at the exact
+        solo-session addresses; its spill backing store is then pointed at
+        the logical session slot's private namespace (reset to empty), so
+        concurrent budgeted joins never collide on backing-store pages.
+        """
+        self.database.address_space.restore(self.checkpoint)
+        session = Session(self.database, self.profile, spec=self.spec,
+                          os_interference=self.os_interference,
+                          engine=self.engine, batch_size=self.batch_size,
+                          charge_mode=self.charge_mode,
+                          memory_budget_bytes=self.memory_budget_bytes,
+                          kernel_backend=self.kernel_backend)
+        slot = index % self.max_concurrency
+        namespace = f"disk.s{slot}"
+        region = self.database.address_space.ensure_region(namespace)
+        region.cursor = 0
+        session.context.disk_namespace = namespace
+        return session
+
+    def _serve_one(self, future: ServingFuture,
+                   coordinator: Optional[SharedScanCoordinator]) -> None:
+        start = time.perf_counter()
+        query = future.query
+        key = normalize_query(query)
+        tables = query_tables(query)
+        cache_key = (key, tuple(self._epoch(t) for t in tables))
+        is_update = isinstance(query, UpdateQuery)
+
+        if self.result_cache is not None and not is_update:
+            entry = self.result_cache.get(cache_key)
+            if entry is not None:
+                outcome = self._serve_hit(future, entry)
+                outcome.service_seconds = time.perf_counter() - start
+                future.outcome = outcome
+                self.stats.result_cache_hits += 1
+                self.stats.completed += 1
+                return
+
+        session = self._session(future.index)
+        plan = None
+        plan_cached = False
+        if self.plan_cache is not None and not is_update:
+            plan = self.plan_cache.get(cache_key)
+            plan_cached = plan is not None
+        if plan is None:
+            plan = session.plan(query)
+            if self.plan_cache is not None and not is_update:
+                self.plan_cache.put(cache_key, plan)
+        if plan_cached:
+            self.stats.plan_cache_hits += 1
+
+        reuses_before = coordinator.reuses if coordinator is not None else 0
+        if coordinator is not None:
+            session.context.shared_scans = coordinator
+        result = session.execute(query, warmup_runs=0, label=future.label,
+                                 plan=plan)
+        shared = (coordinator is not None
+                  and coordinator.reuses > reuses_before)
+
+        if is_update:
+            for table in tables:
+                self.stats.epochs[table] = self._epoch(table) + 1
+                if self.result_cache is not None:
+                    self.result_cache.invalidate_table(table)
+            self.stats.updates += 1
+        elif self.result_cache is not None:
+            self.result_cache.put(cache_key, result.rows,
+                                  result.plan_description)
+
+        future.outcome = QueryOutcome(result=result, plan_cached=plan_cached,
+                                      shared_scan=shared,
+                                      service_seconds=time.perf_counter() - start)
+        self.stats.completed += 1
+
+    def _probe_charge(self, row_count: int) -> Tuple[dict, dict]:
+        """Counters and invocations of one cache probe serving ``row_count`` rows.
+
+        The probe runs against restored addresses on a cold simulated
+        processor, so its counts are a pure function of the row count for a
+        fixed server configuration; the first probe of each row count runs
+        the real simulation and later probes reuse the (bit-identical)
+        memoized counters without paying the session-construction wall cost.
+        """
+        memo = self._probe_memo.get(row_count)
+        if memo is not None:
+            return memo
+        session = self._session(0)
+        ctx = session.context
+        invocations_before = ctx.snapshot_invocations()
+        ctx.visit("query_setup")
+        probe = ctx.allocate_workspace(_PROBE_ENTRY_BYTES)
+        ctx.read_address(probe, _PROBE_READ_BYTES)
+        if row_count:
+            ctx.row_produced(row_count)
+        counters = session.processor.finalize()
+        memo = (counters.as_dict(),
+                session._invocation_delta(invocations_before))
+        self._probe_memo[row_count] = memo
+        return memo
+
+    def _serve_hit(self, future: ServingFuture, entry) -> QueryOutcome:
+        """Serve cached rows with a charged cache-probe cost.
+
+        A hit's charged work is the modelled probe: the query-setup routine,
+        one read of the cache directory entry, and the per-row result
+        delivery — simulated on a fresh cold processor against restored
+        addresses (memoized per row count, see :meth:`_probe_charge`).  The
+        returned :class:`QueryResult` is shaped exactly like an executed
+        one, so drivers aggregate hits and misses uniformly.
+        """
+        rows = entry.rows
+        counter_dict, invocations = self._probe_charge(len(rows))
+        counters = EventCounters.from_dict(counter_dict)
+        label = future.label
+        breakdown = ExecutionBreakdown.from_counters(
+            counters, self.spec, label=f"{self.profile.key}:{label}")
+        metrics = compute_metrics(counters, self.spec)
+        result = QueryResult(
+            system=self.profile.key, label=label,
+            plan_description="ResultCache hit\n" + entry.plan_description,
+            rows=rows, counters=counters, breakdown=breakdown,
+            metrics=metrics, engine=self.engine,
+            routine_invocations=dict(invocations))
+        return QueryOutcome(result=result, result_cached=True)

@@ -127,6 +127,32 @@ class AddressSpace:
         """
         return {name: region.cursor for name, region in self._regions.items()}
 
+    def ensure_region(self, name: str, size: Optional[int] = None) -> Region:
+        """Return the region called ``name``, creating it on first use.
+
+        Dynamic regions give concurrent logical sessions private namespaces
+        (e.g. a per-session backing store for spill files) without touching
+        the fixed region map.  A new region is placed immediately after the
+        highest existing region, with its base aligned to the region size:
+        region-size alignment means every within-region offset produces the
+        same cache-set and TLB-set indices as the same offset in any other
+        region, which is what keeps a session's simulated counts independent
+        of *which* namespace it was handed.  Creation order is the caller's
+        responsibility to keep deterministic; :meth:`restore` ignores regions
+        absent from its snapshot, so checkpoints taken before a dynamic
+        region existed restore cleanly.
+        """
+        region = self._regions.get(name)
+        if region is not None:
+            return region
+        if size is None:
+            size = max(r.size for r in self._regions.values())
+        highest = max(r.end for r in self._regions.values())
+        base = -(-highest // size) * size
+        region = Region(name=name, base=base, size=size)
+        self._regions[name] = region
+        return region
+
     def restore(self, cursors: Dict[str, int]) -> None:
         """Roll allocation cursors back to a :meth:`checkpoint` snapshot."""
         for name, cursor in cursors.items():

@@ -79,9 +79,17 @@ class BufferPool:
                  region: str = "heap",
                  page_size: int = DEFAULT_PAGE_SIZE,
                  capacity_pages: Optional[int] = None,
-                 io=None) -> None:
+                 io=None,
+                 backing_region: str = BACKING_REGION) -> None:
         self.address_space = address_space
         self.region = region
+        #: Region evicted pages are addressed in.  The default shared
+        #: ``disk`` region is right for the single-session case; concurrent
+        #: logical sessions pass a private namespace (created with
+        #: :meth:`~repro.storage.address_space.AddressSpace.ensure_region`)
+        #: so two memory-budgeted joins spilling at the same time cannot
+        #: collide on backing-store pages.
+        self.backing_region = backing_region
         self.page_size = page_size
         self.capacity_pages = capacity_pages
         self.io = io
@@ -161,7 +169,7 @@ class BufferPool:
         """Stable backing-store address for ``page_number`` (lazily assigned)."""
         address = self._disk_addresses.get(page_number)
         if address is None:
-            address = self.address_space.allocate(BACKING_REGION, self.page_size,
+            address = self.address_space.allocate(self.backing_region, self.page_size,
                                                   alignment=self.page_size)
             self._disk_addresses[page_number] = address
         return address

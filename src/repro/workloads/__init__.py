@@ -2,6 +2,8 @@
 
 from .micro import (DEFAULT_SCALE, JOIN_FANOUT, MicroWorkload, MicroWorkloadConfig,
                     PAPER_A2_DOMAIN, PAPER_R_ROWS, PAPER_S_ROWS)
+from .serving import (ServingReport, ServingTraceConfig, TraceItem, build_trace,
+                      percentile, run_open_loop)
 from .sweeps import (RECORD_SIZE_POINTS, SELECTIVITY_POINTS, SweepPoint,
                      build_database_for_point, record_size_sweep, selectivity_sweep)
 from .tpcc import TPCCConfig, TPCCWorkload, Transaction
@@ -10,6 +12,8 @@ from .tpcd import TPCDConfig, TPCDWorkload
 __all__ = [
     "DEFAULT_SCALE", "JOIN_FANOUT", "MicroWorkload", "MicroWorkloadConfig",
     "PAPER_A2_DOMAIN", "PAPER_R_ROWS", "PAPER_S_ROWS",
+    "ServingReport", "ServingTraceConfig", "TraceItem", "build_trace",
+    "percentile", "run_open_loop",
     "RECORD_SIZE_POINTS", "SELECTIVITY_POINTS", "SweepPoint",
     "build_database_for_point", "record_size_sweep", "selectivity_sweep",
     "TPCCConfig", "TPCCWorkload", "Transaction",

@@ -1,0 +1,309 @@
+"""Concurrent query serving: the scheduler, caches and shared scans.
+
+The serving layer's contract has two walls:
+
+* **Rows are always identical to solo execution** — whatever mix of plan
+  cache, result cache and shared scans served a query, its rows match a
+  fresh solo session against a fresh build.
+* **Counts change only where a knob says so** — with every layer off the
+  server is bit-identical to back-to-back solo sessions; plan caching and
+  shared scans change no simulated count (the planner charges nothing; the
+  shared stream replays each attachment's charge tape into its own
+  context); only a *result-cache hit* charges differently (the modelled
+  cache probe instead of execution), by design.
+
+These tests differentially pin both walls, plus the satellite guarantees:
+per-logical-session spill namespaces keep concurrent budgeted joins
+count-identical to solo, and updates bump table epochs so stale cached
+results can never be served.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import ExperimentConfig, ExperimentRunner
+from repro.query.plans import UpdateQuery
+from repro.serving import PlanCache, ResultCache, Server, normalize_query
+from repro.systems import system_by_key
+from repro.workloads import (MicroWorkloadConfig, ServingTraceConfig,
+                             build_trace, percentile, run_open_loop)
+
+TINY = MicroWorkloadConfig(scale=0.001)
+
+
+def tiny_runner() -> ExperimentRunner:
+    return ExperimentRunner(ExperimentConfig(micro=TINY, os_interference=False))
+
+
+def make_server(runner, **kwargs):
+    return runner.serving_server("nsm", **kwargs)
+
+
+def solo_results(runner, queries):
+    """Reference measurements: one fresh solo session per query."""
+    results = []
+    for query in queries:
+        session = runner.grid_session("vectorized", "nsm")
+        results.append(session.execute(query, warmup_runs=0))
+    return results
+
+
+def mixed_queries(workload):
+    return [workload.sequential_range_selection(),
+            workload.indexed_range_selection(),
+            workload.sequential_join(),
+            workload.sequential_range_selection(0.5),
+            workload.skewed_conjunct_selection(),
+            workload.sequential_range_selection()]
+
+
+# ---------------------------------------------------------------------------
+# The count-identity walls
+# ---------------------------------------------------------------------------
+class TestCountIdentity:
+    def test_all_layers_off_is_bit_identical_to_solo(self):
+        runner = tiny_runner()
+        queries = mixed_queries(runner.micro_workload)
+        solo = solo_results(runner, queries)
+        server = make_server(runner, max_concurrency=1, plan_cache=False,
+                             result_cache=False, shared_scans=False)
+        futures = [server.submit(q) for q in queries]
+        server.run_until_idle()
+        for future, reference in zip(futures, solo):
+            assert future.outcome.rows == reference.rows
+            assert (future.outcome.result.counters.as_dict()
+                    == reference.counters.as_dict())
+
+    def test_rows_identical_with_every_layer_on(self):
+        runner = tiny_runner()
+        queries = mixed_queries(runner.micro_workload)
+        solo = solo_results(runner, queries)
+        server = make_server(runner, max_concurrency=8)
+        futures = [server.submit(q) for q in queries]
+        server.run_until_idle()
+        for future, reference in zip(futures, solo):
+            assert future.outcome.rows == reference.rows
+
+    def test_plan_cache_and_shared_scans_change_no_counts(self):
+        """With the result cache off, every query executes — and its counts
+        must match solo even when it rode a cached plan or a shared scan."""
+        runner = tiny_runner()
+        workload = runner.micro_workload
+        queries = [workload.sequential_range_selection(),
+                   workload.sequential_range_selection(),
+                   workload.sequential_range_selection(),
+                   workload.sequential_join()]
+        solo = solo_results(runner, queries)
+        server = make_server(runner, max_concurrency=8, result_cache=False)
+        futures = [server.submit(q) for q in queries]
+        server.run_until_idle()
+        assert server.stats.plan_cache_hits == 2
+        assert server.stats.shared_scan_reuses == 2
+        assert any(f.outcome.shared_scan for f in futures)
+        for future, reference in zip(futures, solo):
+            assert future.outcome.rows == reference.rows
+            assert (future.outcome.result.counters.as_dict()
+                    == reference.counters.as_dict())
+
+    def test_result_cache_hit_charges_probe_not_execution(self):
+        runner = tiny_runner()
+        query = runner.micro_workload.sequential_range_selection()
+        server = make_server(runner, max_concurrency=8)
+        first = server.submit(query)
+        second = server.submit(query)
+        server.run_until_idle()
+        assert not first.outcome.result_cached
+        assert second.outcome.result_cached
+        assert second.outcome.rows == first.outcome.rows
+        assert 0 < second.outcome.cycles < first.outcome.cycles
+        assert second.outcome.result.plan_description.startswith(
+            "ResultCache hit")
+
+    def test_hit_counts_deterministic_across_servers(self):
+        """The memoized probe charge must equal a fresh simulation."""
+        runner = tiny_runner()
+        query = runner.micro_workload.sequential_range_selection()
+        hits = []
+        for _ in range(2):
+            server = make_server(runner, max_concurrency=4)
+            server.submit(query)
+            future = server.submit(query)
+            repeat = server.submit(query)
+            server.run_until_idle()
+            assert future.outcome.result_cached
+            assert (repeat.outcome.result.counters.as_dict()
+                    == future.outcome.result.counters.as_dict())
+            hits.append(future.outcome.result.counters.as_dict())
+        assert hits[0] == hits[1]
+
+
+# ---------------------------------------------------------------------------
+# Spill namespaces (satellite: per-session backing-store isolation)
+# ---------------------------------------------------------------------------
+class TestSpillNamespaces:
+    def test_budgeted_joins_count_identical_under_serving(self):
+        runner = tiny_runner()
+        workload = runner.micro_workload
+        budget = max(runner.config.micro.s_bytes // 2, 1)
+        solo = runner.grid_session(
+            "vectorized", "nsm", memory_budget_bytes=budget).execute(
+            workload.over_budget_join(), warmup_runs=0)
+        assert solo.rows  # the join actually produced something
+        server = make_server(runner, max_concurrency=4, result_cache=False,
+                             memory_budget_bytes=budget)
+        futures = [server.submit(workload.over_budget_join())
+                   for _ in range(4)]
+        server.run_until_idle()
+        for future in futures:
+            assert future.outcome.rows == solo.rows
+            assert (future.outcome.result.counters.as_dict()
+                    == solo.counters.as_dict())
+
+    def test_sessions_get_disjoint_backing_regions(self):
+        runner = tiny_runner()
+        database, _ = runner.grid_database("nsm")
+        server = make_server(runner, max_concurrency=3)
+        seen = set()
+        for index in range(3):
+            session = server._session(index)
+            namespace = session.context.disk_namespace
+            assert namespace == f"disk.s{index % 3}"
+            region = database.address_space.ensure_region(namespace)
+            assert region.cursor == 0
+            seen.add((region.base, region.base + region.size))
+        assert len(seen) == 3
+        spans = sorted(seen)
+        for (_, end), (start, _) in zip(spans, spans[1:]):
+            assert end <= start  # disjoint address ranges
+
+
+# ---------------------------------------------------------------------------
+# Cache keying and invalidation
+# ---------------------------------------------------------------------------
+class TestCaches:
+    def test_normalize_strips_labels_but_not_constants(self):
+        workload = tiny_runner().micro_workload
+        a = workload.sequential_range_selection()
+        b = workload.sequential_range_selection()
+        wider = workload.sequential_range_selection(0.5)
+        assert normalize_query(a) == normalize_query(b)
+        assert normalize_query(a) != normalize_query(wider)
+
+    def test_result_cache_copies_rows_both_ways(self):
+        cache = ResultCache()
+        rows = [{"avg(a3)": 1.0}]
+        cache.put(("k",), rows, "plan")
+        rows[0]["avg(a3)"] = 99.0  # caller mutates after put
+        entry = cache.get(("k",))
+        assert entry.rows == [{"avg(a3)": 1.0}]
+        entry.rows[0]["avg(a3)"] = 77.0  # caller mutates the returned copy
+        assert cache.get(("k",)).rows == [{"avg(a3)": 1.0}]
+
+    def test_update_invalidates_and_new_results_are_visible(self):
+        runner = tiny_runner()  # dedicated runner: the update mutates R
+        workload = runner.micro_workload
+        query = workload.sequential_range_selection()
+        update = UpdateQuery(table="R", key_column="a2", key_value=1,
+                             set_column="a3", set_value=10_000_000,
+                             label="UPD")
+        server = make_server(runner, max_concurrency=8)
+        before = server.submit(query)
+        cached = server.submit(query)
+        server.run_until_idle()
+        assert cached.outcome.result_cached
+        updated = server.submit(update)
+        server.run_until_idle()
+        assert updated.outcome.rows[0]["updated"] > 0
+        after = server.submit(query)
+        server.run_until_idle()
+        assert not after.outcome.result_cached
+        assert after.outcome.rows != before.outcome.rows
+        recached = server.submit(query)
+        server.run_until_idle()
+        assert recached.outcome.result_cached
+        assert recached.outcome.rows == after.outcome.rows
+        assert server.stats.updates == 1
+        assert server.stats.epochs["R"] == 1
+
+    def test_plan_cache_counts_hits_and_misses(self):
+        cache = PlanCache()
+        assert cache.get(("a",)) is None
+        cache.put(("a",), "plan")
+        assert cache.get(("a",)) == "plan"
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert len(cache) == 1
+
+
+# ---------------------------------------------------------------------------
+# The open-loop driver
+# ---------------------------------------------------------------------------
+class TestOpenLoopDriver:
+    def test_trace_is_deterministic(self):
+        workload = tiny_runner().micro_workload
+        config = ServingTraceConfig(queries=16, seed=7)
+        first = build_trace(workload, config)
+        second = build_trace(workload, config)
+        assert [(t.arrival_seconds, t.class_key) for t in first] \
+            == [(t.arrival_seconds, t.class_key) for t in second]
+        different = build_trace(workload, ServingTraceConfig(queries=16,
+                                                             seed=8))
+        assert [(t.arrival_seconds, t.class_key) for t in first] \
+            != [(t.arrival_seconds, t.class_key) for t in different]
+
+    def test_percentile_is_nearest_rank(self):
+        values = [5.0, 1.0, 3.0, 2.0, 4.0]
+        assert percentile(values, 0.50) == 3.0
+        assert percentile(values, 0.99) == 5.0
+        assert percentile(values, 0.20) == 1.0
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+
+    def test_open_loop_cycles_independent_of_wall_timing(self):
+        """Total simulated cycles must not depend on how wall-clock noise
+        shapes the admission rounds: two runs of the same trace agree."""
+        runner = tiny_runner()
+        trace = build_trace(runner.micro_workload,
+                            ServingTraceConfig(queries=12))
+        reports = []
+        for _ in range(2):
+            server = make_server(runner, max_concurrency=4)
+            reports.append(run_open_loop(server, trace))
+        assert reports[0].total_cycles == reports[1].total_cycles
+        assert reports[0].total_rows == reports[1].total_rows
+        assert reports[0].queries == 12
+        assert reports[0].latency_p50 <= reports[0].latency_p95 \
+            <= reports[0].latency_p99
+
+    def test_serving_total_cycles_match_serial_when_layers_off(self):
+        runner = tiny_runner()
+        trace = build_trace(runner.micro_workload,
+                            ServingTraceConfig(queries=10))
+        serial = make_server(runner, max_concurrency=1, plan_cache=False,
+                             result_cache=False, shared_scans=False)
+        serial_report = run_open_loop(serial, trace)
+        concurrent = make_server(runner, max_concurrency=4, plan_cache=False,
+                                 result_cache=False, shared_scans=False)
+        concurrent_report = run_open_loop(concurrent, trace)
+        assert serial_report.total_cycles == concurrent_report.total_cycles
+        assert serial_report.total_rows == concurrent_report.total_rows
+
+
+# ---------------------------------------------------------------------------
+# Throughput acceptance (slow: full mixed trace, serial vs concurrency 8)
+# ---------------------------------------------------------------------------
+@pytest.mark.slow
+class TestThroughputAcceptance:
+    def test_serving_at_least_2x_serial_throughput(self):
+        runner = tiny_runner()
+        trace = build_trace(runner.micro_workload,
+                            ServingTraceConfig(queries=48))
+        serial = make_server(runner, max_concurrency=1, plan_cache=False,
+                             result_cache=False, shared_scans=False)
+        serial_report = run_open_loop(serial, trace)
+        serving = make_server(runner, max_concurrency=8)
+        serving_report = run_open_loop(serving, trace)
+        ratio = (serving_report.throughput_qps
+                 / serial_report.throughput_qps)
+        assert ratio >= 2.0, f"serving only {ratio:.2f}x serial"
+        assert serving_report.total_rows == serial_report.total_rows
