@@ -472,9 +472,11 @@ class SharedScanCoordinator:
     query's rows *and* simulated counts are identical to executing it
     alone; only the host-side data work is deduplicated.
 
-    The coordinator holds live table data, so its lifetime must not span a
-    table update — the serving layer creates a fresh one per admission
-    round.
+    The coordinator holds live table data, so a recording must never
+    outlive the data it copied: the serving layer creates a fresh
+    coordinator per admission round *and* calls :meth:`drop_table` when an
+    update executes mid-round, so a later query of the same round
+    re-records instead of replaying pre-update rows.
     """
 
     def __init__(self, database) -> None:
@@ -514,6 +516,20 @@ class SharedScanCoordinator:
         self.attachments += 1
         recording.attachments += 1
         return SharedScanReplayOperator(recording, ctx)
+
+    def drop_table(self, table_name: str) -> int:
+        """Forget every recording over ``table_name``; returns the count.
+
+        The serving layer calls this after an update executes mid-round:
+        the table's recordings hold pre-update batches, and a later query
+        of the round must re-record from live data rather than replay
+        stale rows (which would also poison the result cache under the
+        table's new epoch).
+        """
+        stale = [key for key in self._recordings if key[0] == table_name]
+        for key in stale:
+            del self._recordings[key]
+        return len(stale)
 
 
 class SharedScanReplayOperator:

@@ -66,23 +66,42 @@ def normalize_query(query: LogicalQuery) -> tuple:
 
 
 class PlanCache:
-    """Physical plans keyed on (normalized query, table epochs)."""
+    """Physical plans keyed on (normalized query, table epochs).
+
+    Epoch keying already guarantees a stale plan is never *served*;
+    :meth:`invalidate_table` additionally reclaims the entries an epoch
+    bump made unreachable, so a long-running server's plan cache does not
+    grow with its update history.
+    """
 
     def __init__(self) -> None:
-        self._plans: Dict[tuple, PhysicalPlan] = {}
+        self._plans: Dict[tuple, Tuple[PhysicalPlan, Tuple[str, ...]]] = {}
         self.hits = 0
         self.misses = 0
 
     def get(self, key: tuple) -> Optional[PhysicalPlan]:
-        plan = self._plans.get(key)
-        if plan is None:
+        entry = self._plans.get(key)
+        if entry is None:
             self.misses += 1
-        else:
-            self.hits += 1
-        return plan
+            return None
+        self.hits += 1
+        return entry[0]
 
-    def put(self, key: tuple, plan: PhysicalPlan) -> None:
-        self._plans[key] = plan
+    def put(self, key: tuple, plan: PhysicalPlan,
+            tables: Tuple[str, ...] = ()) -> None:
+        self._plans[key] = (plan, tuple(tables))
+
+    def invalidate_table(self, table: str) -> int:
+        """Drop every plan whose query reads ``table``; returns the count.
+
+        Matches the table tuple stored with each entry, never substrings
+        or arbitrary elements of the normalized key.
+        """
+        stale = [key for key, (_, tables) in self._plans.items()
+                 if table in tables]
+        for key in stale:
+            del self._plans[key]
+        return len(stale)
 
     def __len__(self) -> int:
         return len(self._plans)
@@ -94,6 +113,8 @@ class CachedResult:
 
     rows: List[Dict[str, object]]
     plan_description: str
+    #: Tables the query read — the exact match target for invalidation.
+    tables: Tuple[str, ...] = ()
 
 
 class ResultCache:
@@ -118,21 +139,26 @@ class ResultCache:
             return None
         self.hits += 1
         return CachedResult(rows=[dict(row) for row in entry.rows],
-                            plan_description=entry.plan_description)
+                            plan_description=entry.plan_description,
+                            tables=entry.tables)
 
     def put(self, key: tuple, rows: List[Dict[str, object]],
-            plan_description: str) -> None:
+            plan_description: str, tables: Tuple[str, ...] = ()) -> None:
         self._results[key] = CachedResult(rows=[dict(row) for row in rows],
-                                          plan_description=plan_description)
+                                          plan_description=plan_description,
+                                          tables=tuple(tables))
 
     def invalidate_table(self, table: str) -> int:
-        """Drop every entry whose key mentions ``table``; returns the count.
+        """Drop every entry whose query read ``table``; returns the count.
 
         The epoch in the key already guarantees correctness; this only
-        reclaims memory for entries that became unreachable.
+        reclaims memory for entries that became unreachable.  Matching is
+        against the table tuple stored with each entry, so a table whose
+        name happens to equal a column name in some other entry's key is
+        never over-invalidated.
         """
-        stale = [key for key in self._results
-                 if table in key[0]]
+        stale = [key for key, entry in self._results.items()
+                 if table in entry.tables]
         for key in stale:
             del self._results[key]
         return len(stale)

@@ -291,7 +291,7 @@ class Server:
         if plan is None:
             plan = session.plan(query)
             if self.plan_cache is not None and not is_update:
-                self.plan_cache.put(cache_key, plan)
+                self.plan_cache.put(cache_key, plan, tables)
         if plan_cached:
             self.stats.plan_cache_hits += 1
 
@@ -304,14 +304,24 @@ class Server:
                   and coordinator.reuses > reuses_before)
 
         if is_update:
+            # The epoch bump makes old cache entries unreachable; the
+            # eager invalidations reclaim them.  Dropping the round's
+            # shared-scan recordings is a *correctness* requirement: a
+            # later query of this round must re-record from live data,
+            # not replay the pre-update stream (whose stale rows would
+            # then be cached under the table's new epoch).
             for table in tables:
                 self.stats.epochs[table] = self._epoch(table) + 1
                 if self.result_cache is not None:
                     self.result_cache.invalidate_table(table)
+                if self.plan_cache is not None:
+                    self.plan_cache.invalidate_table(table)
+                if coordinator is not None:
+                    coordinator.drop_table(table)
             self.stats.updates += 1
         elif self.result_cache is not None:
             self.result_cache.put(cache_key, result.rows,
-                                  result.plan_description)
+                                  result.plan_description, tables)
 
         future.outcome = QueryOutcome(result=result, plan_cached=plan_cached,
                                       shared_scan=shared,

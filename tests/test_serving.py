@@ -226,6 +226,40 @@ class TestCaches:
         assert server.stats.updates == 1
         assert server.stats.epochs["R"] == 1
 
+    def test_mid_round_update_does_not_replay_stale_recordings(self):
+        """select + update + select admitted into ONE round: the second
+        select must re-record from live data, not replay the pre-update
+        shared-scan recording — and the entry it caches under the new
+        epoch must hold the post-update rows."""
+        runner = tiny_runner()  # dedicated runner: the update mutates R
+        workload = runner.micro_workload
+        query = workload.sequential_range_selection()
+        update = UpdateQuery(table="R", key_column="a2", key_value=1,
+                             set_column="a3", set_value=10_000_000,
+                             label="UPD")
+        server = make_server(runner, max_concurrency=8)
+        before = server.submit(query)
+        updated = server.submit(update)
+        after = server.submit(query)
+        served, _ = server.step()  # one admission round serves all three
+        assert len(served) == 3
+        assert updated.outcome.rows[0]["updated"] > 0
+        # The post-update select executed (no stale cache entry) and its
+        # scan re-recorded instead of riding the pre-update stream.
+        assert not after.outcome.result_cached
+        assert server.stats.shared_scan_recordings == 2
+        assert server.stats.shared_scan_reuses == 0
+        assert after.outcome.rows != before.outcome.rows
+        # Rows must equal a solo session against the (now updated) build.
+        reference = runner.grid_session("vectorized", "nsm").execute(
+            query, warmup_runs=0)
+        assert after.outcome.rows == reference.rows
+        # The new-epoch cache entry was fed post-update rows, not stale ones.
+        recached = server.submit(query)
+        server.run_until_idle()
+        assert recached.outcome.result_cached
+        assert recached.outcome.rows == reference.rows
+
     def test_plan_cache_counts_hits_and_misses(self):
         cache = PlanCache()
         assert cache.get(("a",)) is None
@@ -233,6 +267,28 @@ class TestCaches:
         assert cache.get(("a",)) == "plan"
         assert (cache.hits, cache.misses) == (1, 1)
         assert len(cache) == 1
+
+    def test_plan_cache_invalidate_table_reclaims_entries(self):
+        cache = PlanCache()
+        cache.put(("r",), "plan-r", tables=("R",))
+        cache.put(("s",), "plan-s", tables=("S",))
+        assert cache.invalidate_table("R") == 1
+        assert len(cache) == 1
+        assert cache.get(("r",)) is None
+        assert cache.get(("s",)) == "plan-s"
+
+    def test_invalidate_table_matches_tables_exactly(self):
+        """A table named like a *column* in another entry's normalized key
+        must not be swept — matching is on the stored table tuple."""
+        cache = ResultCache()
+        select_key = (("select", "R", (), "pred", None), (0,))
+        # A join whose join columns are both literally named "R".
+        join_key = (("join", "L", "S", "R", "R", (), "pred", None), (0, 0))
+        cache.put(select_key, [], "plan", tables=("R",))
+        cache.put(join_key, [], "plan", tables=("L", "S"))
+        assert cache.invalidate_table("R") == 1
+        assert len(cache) == 1
+        assert cache.get(join_key) is not None
 
 
 # ---------------------------------------------------------------------------
