@@ -300,6 +300,10 @@ def measure_serving_cell(runner: ExperimentRunner, layout: str, kind: str,
                 "latency_p50": round(best_report.latency_p50, 6),
                 "latency_p95": round(best_report.latency_p95, 6),
                 "latency_p99": round(best_report.latency_p99, 6),
+                "queue_depth_high_water":
+                    best_report.stats.get("queue_depth_high_water", 0),
+                "classes": {key: dict(value) for key, value
+                            in sorted(best_report.classes.items())},
                 "stats": best_report.stats,
             },
             "_counters": best_report.counters}

@@ -93,8 +93,18 @@ class Measurement:
 
     @property
     def relative_std_dev(self) -> float:
+        """Coefficient of variation, hardened for zero-mean samples.
+
+        A zero mean with scattered samples (e.g. a counter oscillating
+        around 0) must *fail* the confidence check, not silently pass it:
+        report infinite relative deviation instead of dividing by zero.
+        Negative means (derived counter expressions can go negative)
+        normalise by the magnitude.
+        """
         mean = self.mean
-        return self.std_dev / mean if mean else 0.0
+        if mean == 0.0:
+            return float("inf") if self.std_dev > 0.0 else 0.0
+        return self.std_dev / abs(mean)
 
     def as_dict(self) -> Dict[str, float]:
         return {"mean": self.mean, "std_dev": self.std_dev,

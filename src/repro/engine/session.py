@@ -31,10 +31,11 @@ from ..hardware.processor import SimulatedProcessor
 from ..hardware.specs import PENTIUM_II_XEON, ProcessorSpec
 from ..adaptive import AdaptiveExecution
 from ..query.planner import Planner
+from ..observability import Tracer
 from ..query.plans import (ADAPTIVITY_OFF, CHARGE_SPAN, DEFAULT_BATCH_SIZE,
-                           ENGINE_TUPLE, KERNEL_BACKEND_AUTO, ExecutionConfig,
-                           LogicalQuery, PhysicalPlan, UpdatePlan, UpdateQuery,
-                           describe_plan)
+                           ENGINE_TUPLE, KERNEL_BACKEND_AUTO, TRACING_OFF,
+                           ExecutionConfig, LogicalQuery, PhysicalPlan,
+                           UpdatePlan, UpdateQuery, describe_plan)
 from ..systems.profile import SystemProfile
 from .database import Database
 
@@ -56,6 +57,10 @@ class QueryResult:
     #: unit (batched calls count once per batch) -- the quantity the
     #: vectorized engine exists to shrink.
     routine_invocations: Dict[str, int] = field(default_factory=dict)
+    #: Root of the per-query trace tree
+    #: (:class:`~repro.observability.trace.TraceNode`) when the session ran
+    #: with ``tracing != "off"``; ``None`` otherwise.
+    trace: Optional[object] = None
 
     @property
     def total_routine_invocations(self) -> int:
@@ -88,7 +93,8 @@ class Session:
                  adaptive_joins: bool = False,
                  adaptive_batching: bool = False,
                  memory_budget_bytes: Optional[int] = None,
-                 kernel_backend: str = KERNEL_BACKEND_AUTO) -> None:
+                 kernel_backend: str = KERNEL_BACKEND_AUTO,
+                 tracing: str = TRACING_OFF) -> None:
         """``parallelism=N`` (N > 1) enables the morsel-parallel exchange
         for vectorized sequential scans: page morsels are produced by N
         workers (``parallel_backend="process"`` forks a pool inheriting the
@@ -127,6 +133,16 @@ class Session:
         never touch the simulated hardware -- so result rows, row/column
         order and every simulated count are identical across backends; only
         host wall-clock time differs.
+
+        ``tracing`` selects the query-tracing mode
+        (:mod:`repro.observability`): ``"off"`` (default) bypasses the
+        subsystem structurally; ``"spans"`` brackets every operator pull
+        and planner/setup phase in a counter span and attaches the
+        resulting trace tree to :attr:`QueryResult.trace`; ``"full"``
+        additionally records per-pull host timings, per-morsel replay
+        subspans and spill-I/O subspans.  Tracing only reads hardware
+        snapshots between charges, so result rows and every simulated
+        count are identical in all three modes.
         """
         self.database = database
         self.profile = profile
@@ -143,7 +159,9 @@ class Session:
                                                          adaptive_joins=adaptive_joins,
                                                          adaptive_batching=adaptive_batching,
                                                          memory_budget_bytes=memory_budget_bytes,
-                                                         kernel_backend=kernel_backend))
+                                                         kernel_backend=kernel_backend,
+                                                         tracing=tracing))
+        self.tracing = tracing
         self.code_layout = CodeLayout(profile, database.address_space)
         self.context = ExecutionContext(self.processor, profile,
                                         database.address_space,
@@ -223,9 +241,17 @@ class Session:
         self.processor.reset_counters()
         invocations_before = self.context.snapshot_invocations()
 
+        # The tracer (if any) covers exactly the measured unit: the root
+        # span opens on freshly reset counters and closes before finalize,
+        # so its synthesized delta equals the whole-unit counter set.
+        # Warm-up runs stay untraced by construction.
+        tracer = self._attach_tracer(label)
         rows: List[Dict[str, object]] = []
-        for _ in range(max(queries_per_unit, 1)):
-            rows = self._run_plan(plan)
+        try:
+            for _ in range(max(queries_per_unit, 1)):
+                rows = self._run_plan(plan)
+        finally:
+            self._detach_tracer(tracer)
 
         counters = self.processor.finalize()
         breakdown = ExecutionBreakdown.from_counters(counters, self.spec,
@@ -236,7 +262,8 @@ class Session:
                            counters=counters, breakdown=breakdown, metrics=metrics,
                            queries_in_unit=max(queries_per_unit, 1),
                            engine=self.execution.engine,
-                           routine_invocations=self._invocation_delta(invocations_before))
+                           routine_invocations=self._invocation_delta(invocations_before),
+                           trace=tracer.root if tracer is not None else None)
 
     def execute_suite(self, queries: Sequence[LogicalQuery],
                       warmup_runs: int = 1, label: str = "") -> QueryResult:
@@ -247,9 +274,13 @@ class Session:
                 self._run_plan(plan)
         self.processor.reset_counters()
         invocations_before = self.context.snapshot_invocations()
+        tracer = self._attach_tracer(label or "suite")
         rows: List[Dict[str, object]] = []
-        for plan, _ in plans:
-            rows = self._run_plan(plan)
+        try:
+            for plan, _ in plans:
+                rows = self._run_plan(plan)
+        finally:
+            self._detach_tracer(tracer)
         counters = self.processor.finalize()
         breakdown = ExecutionBreakdown.from_counters(counters, self.spec,
                                                      label=f"{self.profile.key}:{label}")
@@ -259,7 +290,27 @@ class Session:
                            rows=rows, counters=counters, breakdown=breakdown,
                            metrics=metrics, queries_in_unit=len(plans),
                            engine=self.execution.engine,
-                           routine_invocations=self._invocation_delta(invocations_before))
+                           routine_invocations=self._invocation_delta(invocations_before),
+                           trace=tracer.root if tracer is not None else None)
+
+    def _attach_tracer(self, label: str):
+        """Install a tracer on the context for one measured unit.
+
+        Returns ``None`` (and touches nothing) when ``tracing="off"`` --
+        the structural bypass: no tracer object ever exists, and the hot
+        paths only check ``ctx.tracer is None``.
+        """
+        if self.tracing == TRACING_OFF:
+            return None
+        tracer = Tracer(self.context, self.spec, self.tracing, label=label)
+        self.context.tracer = tracer
+        tracer.open_root()
+        return tracer
+
+    def _detach_tracer(self, tracer) -> None:
+        if tracer is not None:
+            tracer.close_root()
+            self.context.tracer = None
 
     def _run_plan(self, plan: PhysicalPlan) -> List[Dict[str, object]]:
         if isinstance(plan, UpdatePlan):

@@ -160,6 +160,15 @@ class ExecutionContext:
         #: memory-budgeted joins cannot collide on backing-store pages.
         self.disk_namespace: Optional[str] = None
 
+        #: Optional query tracer (:class:`~repro.observability.trace.Tracer`),
+        #: attached by the session around one measured unit when
+        #: ``tracing != "off"``.  Tracing hooks are single attribute checks
+        #: against this field; ``None`` (the default) leaves every code path
+        #: bit-identical to previous releases.  The tracer only *reads*
+        #: hardware state (snapshot-delta spans), so even when attached it
+        #: changes zero simulated counts.
+        self.tracer = None
+
         #: Optional micro-adaptive execution manager
         #: (:class:`~repro.adaptive.AdaptiveExecution`), attached by the
         #: session when ``adaptivity != "off"``.  When set, vectorized
@@ -581,6 +590,15 @@ class ExecutionContext:
 
     def page_io_out(self, address: int, nbytes: int) -> None:
         """Charge one page write-back to the backing store at ``address``."""
+        tracer = self.tracer
+        if tracer is not None and tracer.full:
+            with tracer.span("spill_write", kind="io"):
+                self._page_io_out(address, nbytes)
+            tracer.io_event("spill_write", nbytes)
+            return
+        self._page_io_out(address, nbytes)
+
+    def _page_io_out(self, address: int, nbytes: int) -> None:
         self.visit("page_boundary")
         lines = (nbytes + LINE_BYTES - 1) // LINE_BYTES
         if self._span_charging and lines > 1:
@@ -594,6 +612,15 @@ class ExecutionContext:
 
     def page_io_in(self, address: int, nbytes: int) -> None:
         """Charge one page reload from the backing store at ``address``."""
+        tracer = self.tracer
+        if tracer is not None and tracer.full:
+            with tracer.span("spill_read", kind="io"):
+                self._page_io_in(address, nbytes)
+            tracer.io_event("spill_read", nbytes)
+            return
+        self._page_io_in(address, nbytes)
+
+    def _page_io_in(self, address: int, nbytes: int) -> None:
         self.visit("page_boundary")
         lines = (nbytes + LINE_BYTES - 1) // LINE_BYTES
         if self._span_charging and lines > 1:

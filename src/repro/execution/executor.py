@@ -118,8 +118,16 @@ def execute_plan(plan: PhysicalPlan, catalog: Catalog, ctx: ExecutionContext,
     if execution is not None and execution.is_vectorized:
         from .vectorized import execute_plan_vectorized  # deferred: module imports us
         return execute_plan_vectorized(plan, catalog, ctx, execution)
-    ctx.visit("query_setup")
-    operator = build_plan(plan, catalog, ctx)
+    tracer = ctx.tracer
+    if tracer is None:
+        ctx.visit("query_setup")
+        operator = build_plan(plan, catalog, ctx)
+        return list(operator.rows())
+    with tracer.span("query_setup"):
+        ctx.visit("query_setup")
+    with tracer.span("build_plan"):
+        operator = build_plan(plan, catalog, ctx)
+    tracer.instrument(operator)
     return list(operator.rows())
 
 
@@ -132,8 +140,13 @@ def execute_update(plan: UpdatePlan, catalog: Catalog, ctx: ExecutionContext,
     transaction may contain several statements), so the per-statement setup
     charge can be disabled.
     """
+    tracer = ctx.tracer
     if charge_setup:
-        ctx.visit("query_setup")
+        if tracer is not None:
+            with tracer.span("query_setup"):
+                ctx.visit("query_setup")
+        else:
+            ctx.visit("query_setup")
     table = catalog.table(plan.lookup.table)
     if execution is not None and execution.is_vectorized:
         from .vectorized import build_vectorized_scan  # deferred: module imports us
@@ -144,16 +157,29 @@ def execute_update(plan: UpdatePlan, catalog: Catalog, ctx: ExecutionContext,
     else:
         lookup = build_scan(plan.lookup, catalog, ctx,
                             output_columns=table.schema.column_names())
+    apply_cm = None
+    if tracer is not None:
+        # The lookup's pulls interleave with the update charges, so the
+        # lookup node must live under the update span for the span's self
+        # time to mean "the update work alone".
+        apply_node = tracer.span_node("update_apply")
+        tracer.instrument(lookup, parent=apply_node)
+        apply_cm = tracer.open(apply_node)
+        apply_cm.__enter__()
     updated = 0
-    set_position = table.schema.index_of(plan.set_column)
-    for row in lookup.rows():
-        rid = row["__rid__"]
-        values = list(table.heap.read_values(rid))
-        values[set_position] = plan.set_value
-        ctx.visit("update_record")
-        entry = table.heap.fetch(rid)
-        ctx.write_record(entry, table.layout)
-        table.update(rid, values)
-        updated += 1
-        ctx.record_done()
+    try:
+        set_position = table.schema.index_of(plan.set_column)
+        for row in lookup.rows():
+            rid = row["__rid__"]
+            values = list(table.heap.read_values(rid))
+            values[set_position] = plan.set_value
+            ctx.visit("update_record")
+            entry = table.heap.fetch(rid)
+            ctx.write_record(entry, table.layout)
+            table.update(rid, values)
+            updated += 1
+            ctx.record_done()
+    finally:
+        if apply_cm is not None:
+            apply_cm.__exit__(None, None, None)
     return updated

@@ -550,11 +550,22 @@ class SharedScanReplayOperator:
     def batches(self):
         from .vectorized import ColumnBatch
         ctx = self.ctx
+        tracer = getattr(ctx, "tracer", None)
+        if tracer is not None and tracer.full:
+            # Per-batch replay subspans: the tape *is* the span's charge
+            # record, replayed in canonical order inside this operator's
+            # open pull span, so attribution is exact.
+            def _replay(ops):
+                with tracer.span("shared_scan_replay", kind="replay"):
+                    replay_tape(ops, ctx)
+        else:
+            def _replay(ops):
+                replay_tape(ops, ctx)
         for columns, length, ops in self.recording.batches:
-            replay_tape(ops, ctx)
+            _replay(ops)
             yield ColumnBatch(columns, length)
         if self.recording.trailing_ops:
-            replay_tape(self.recording.trailing_ops, ctx)
+            _replay(self.recording.trailing_ops)
 
     def rows(self):
         for batch in self.batches():
@@ -609,6 +620,17 @@ class VecExchangeOperator:
         from .vectorized import ColumnBatch
         parallel = self.parallel
         ctx = self.ctx
+        tracer = getattr(ctx, "tracer", None)
+        if tracer is not None and tracer.full:
+            # Workers record span deltas on their charge tapes; the parent
+            # replays each tape here, in canonical morsel order, inside
+            # this operator's open pull span -- one subspan per replay.
+            def _replay(ops):
+                with tracer.span("morsel_replay", kind="replay"):
+                    replay_tape(ops, ctx)
+        else:
+            def _replay(ops):
+                replay_tape(ops, ctx)
         page_count = self.table.heap.page_count
         morsel_pages = parallel.default_morsel_pages(page_count)
         spans = partition_pages(page_count, morsel_pages)
@@ -652,7 +674,7 @@ class VecExchangeOperator:
                         # where the pressure observation happens -- exactly
                         # once per batch, mirroring the serial scan.
                         before = ctx.l1d_misses()
-                        replay_tape(ops, ctx)
+                        _replay(ops)
                         rows_in = next(
                             (op[2] for op in ops
                              if op[0] == _OP_VISIT_BATCH
@@ -661,10 +683,10 @@ class VecExchangeOperator:
                             pressure_key, current_size, rows_in,
                             ctx.l1d_misses() - before)
                     else:
-                        replay_tape(ops, ctx)
+                        _replay(ops)
                     yield ColumnBatch(columns, length)
                 if result.trailing_ops:
-                    replay_tape(result.trailing_ops, ctx)
+                    _replay(result.trailing_ops)
             if conjuncts_active:
                 # Each scan batch was one ordering decision in a worker;
                 # advance the parent policy so the next wave's snapshot

@@ -1563,6 +1563,14 @@ def execute_plan_vectorized(plan: PhysicalPlan, catalog: Catalog,
     batch_size = execution.batch_size if execution is not None else 256
     if execution is not None and execution.kernel_backend != KERNEL_BACKEND_AUTO:
         ctx.kernels = resolve_kernels(execution.kernel_backend)
-    ctx.visit("query_setup")
-    operator = build_vectorized_plan(plan, catalog, ctx, batch_size=batch_size)
+    tracer = ctx.tracer
+    if tracer is None:
+        ctx.visit("query_setup")
+        operator = build_vectorized_plan(plan, catalog, ctx, batch_size=batch_size)
+        return list(operator.rows())
+    with tracer.span("query_setup"):
+        ctx.visit("query_setup")
+    with tracer.span("build_plan"):
+        operator = build_vectorized_plan(plan, catalog, ctx, batch_size=batch_size)
+    tracer.instrument(operator)
     return list(operator.rows())

@@ -333,7 +333,8 @@ class ExperimentRunner:
                      adaptive_batching: bool = False,
                      batch_size: Optional[int] = None,
                      memory_budget_bytes: Optional[int] = None,
-                     kernel_backend: Optional[str] = None) -> Session:
+                     kernel_backend: Optional[str] = None,
+                     tracing: Optional[str] = None) -> Session:
         """A measurement session against the cached grid build.
 
         The address space is rolled back to the post-build checkpoint
@@ -351,7 +352,9 @@ class ExperimentRunner:
         join's working memory (the budget-sweep cells express it relative
         to the build side's ``s_bytes``).  ``kernel_backend`` selects the
         data-plane kernel implementation (``None`` keeps the session
-        default, ``auto``).
+        default, ``auto``).  ``tracing`` enables per-operator query
+        tracing (:mod:`repro.observability`; ``None`` keeps the default,
+        ``off``).
         """
         database, checkpoint = self.grid_database(layout)
         database.address_space.restore(checkpoint)
@@ -364,6 +367,8 @@ class ExperimentRunner:
             kwargs["memory_budget_bytes"] = memory_budget_bytes
         if kernel_backend is not None:
             kwargs["kernel_backend"] = kernel_backend
+        if tracing is not None:
+            kwargs["tracing"] = tracing
         return Session(database, system_by_key(system_key), spec=self.config.spec,
                        os_interference=self.config.os_config(), engine=engine,
                        parallelism=parallelism,
@@ -379,7 +384,8 @@ class ExperimentRunner:
                        shared_scans: bool = True,
                        engine: str = "vectorized",
                        memory_budget_bytes: Optional[int] = None,
-                       kernel_backend: Optional[str] = None):
+                       kernel_backend: Optional[str] = None,
+                       tracing: Optional[str] = None):
         """A serving :class:`~repro.serving.server.Server` over the cached
         grid build for ``layout``.
 
@@ -395,6 +401,8 @@ class ExperimentRunner:
         kwargs = {}
         if kernel_backend is not None:
             kwargs["kernel_backend"] = kernel_backend
+        if tracing is not None:
+            kwargs["tracing"] = tracing
         return Server(database, checkpoint, system_by_key(system_key),
                       spec=self.config.spec,
                       os_interference=self.config.os_config(),

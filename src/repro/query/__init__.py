@@ -6,7 +6,7 @@ from .expressions import (Aggregate, AggregateFunction, AggregateState, And, Bet
                           equals, range_predicate)
 from .planner import DefaultPolicy, Planner, PlannerError, PlannerPolicy, extract_range_bounds
 from .plans import (DEFAULT_BATCH_SIZE, ENGINE_TUPLE, ENGINE_VECTORIZED, ENGINES,
-                    KERNEL_BACKENDS,
+                    KERNEL_BACKENDS, TRACING_MODES,
                     AggregatePlan, ExecutionConfig, HashJoinPlan,
                     IndexNestedLoopJoinPlan, IndexPointLookupPlan, IndexRangeScanPlan,
                     JoinQuery, LogicalQuery, NestedLoopJoinPlan, PhysicalPlan,
@@ -18,7 +18,7 @@ __all__ = [
     "avg", "column", "const", "count_star", "equals", "range_predicate",
     "DefaultPolicy", "Planner", "PlannerError", "PlannerPolicy", "extract_range_bounds",
     "DEFAULT_BATCH_SIZE", "ENGINE_TUPLE", "ENGINE_VECTORIZED", "ENGINES",
-    "KERNEL_BACKENDS",
+    "KERNEL_BACKENDS", "TRACING_MODES",
     "ExecutionConfig",
     "AggregatePlan", "HashJoinPlan", "IndexNestedLoopJoinPlan", "IndexPointLookupPlan",
     "IndexRangeScanPlan", "JoinQuery", "LogicalQuery", "NestedLoopJoinPlan",

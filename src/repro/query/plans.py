@@ -78,6 +78,20 @@ KERNEL_BACKEND_ARRAY = "array"
 KERNEL_BACKENDS = (KERNEL_BACKEND_AUTO, KERNEL_BACKEND_PYTHON,
                    KERNEL_BACKEND_ARRAY)
 
+#: Query tracing (:mod:`repro.observability`).  ``off`` bypasses the
+#: subsystem structurally -- no tracer object exists and every hot path
+#: checks a single ``None`` attribute -- and is bit-identical to previous
+#: releases.  ``spans`` wraps every operator ``next()`` boundary and the
+#: planner/setup phases in counter spans (snapshot-delta captures of the
+#: simulated event banks); ``full`` additionally records per-pull host
+#: timing events, per-morsel replay subspans and spill-I/O subspans.
+#: Tracing only *reads* hardware state between charges: result rows and
+#: every simulated count are identical in all three modes.
+TRACING_OFF = "off"
+TRACING_SPANS = "spans"
+TRACING_FULL = "full"
+TRACING_MODES = (TRACING_OFF, TRACING_SPANS, TRACING_FULL)
+
 
 @dataclass(frozen=True)
 class ExecutionConfig:
@@ -139,6 +153,13 @@ class ExecutionConfig:
     #: what is *charged* to the simulated hardware is identical for every
     #: backend, as are result rows and column order.
     kernel_backend: str = KERNEL_BACKEND_AUTO
+    #: Query-tracing mode (see :data:`TRACING_MODES`).  ``off`` (the
+    #: default) is structurally bypassed and bit-identical to previous
+    #: releases; ``spans``/``full`` attribute the simulated counters to a
+    #: per-query trace tree of operator and phase spans without changing a
+    #: single simulated count (the observability tests assert both walls
+    #: differentially).
+    tracing: str = TRACING_OFF
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:
@@ -171,6 +192,9 @@ class ExecutionConfig:
         if self.kernel_backend not in KERNEL_BACKENDS:
             raise ValueError(f"unknown kernel backend {self.kernel_backend!r}; "
                              f"expected one of {KERNEL_BACKENDS}")
+        if self.tracing not in TRACING_MODES:
+            raise ValueError(f"unknown tracing mode {self.tracing!r}; "
+                             f"expected one of {TRACING_MODES}")
         if self.memory_budget_bytes is not None:
             if self.memory_budget_bytes < 1:
                 raise ValueError("memory_budget_bytes must be at least 1 when set")
@@ -196,6 +220,10 @@ class ExecutionConfig:
     @property
     def uses_span_charging(self) -> bool:
         return self.charge_mode == CHARGE_SPAN
+
+    @property
+    def is_traced(self) -> bool:
+        return self.tracing != TRACING_OFF
 
 
 # --------------------------------------------------------------------------

@@ -52,8 +52,10 @@ from ..execution.parallel import SharedScanCoordinator
 from ..hardware.counters import EventCounters
 from ..hardware.os_interference import OSInterferenceConfig
 from ..hardware.specs import PENTIUM_II_XEON, ProcessorSpec
+from ..observability import TraceNode
 from ..query.plans import (CHARGE_SPAN, DEFAULT_BATCH_SIZE,
-                           KERNEL_BACKEND_AUTO, LogicalQuery, UpdateQuery)
+                           KERNEL_BACKEND_AUTO, TRACING_MODES, TRACING_OFF,
+                           LogicalQuery, UpdateQuery)
 from ..systems.profile import SystemProfile
 from .cache import PlanCache, ResultCache, normalize_query, query_tables
 
@@ -112,9 +114,84 @@ class ServingFuture:
         return self.outcome
 
 
+def _nearest_rank(values: List[float], fraction: float) -> float:
+    """Nearest-rank percentile over a non-empty list (no interpolation)."""
+    ordered = sorted(values)
+    rank = max(int(-(-fraction * len(ordered) // 1)), 1)  # ceil, >= 1
+    return ordered[rank - 1]
+
+
+def _service_histogram(values: List[float]) -> Dict[str, int]:
+    """Power-of-two bucket counts over service seconds (keys are upper
+    bounds like ``"<2^-10s"``), deterministic and JSON-friendly."""
+    histogram: Dict[str, int] = {}
+    for value in values:
+        exponent = -30
+        while (2.0 ** exponent) < value and exponent < 10:
+            exponent += 1
+        key = f"<2^{exponent}s"
+        histogram[key] = histogram.get(key, 0) + 1
+    return dict(sorted(histogram.items(),
+                       key=lambda item: int(item[0][3:-1])))
+
+
+@dataclass
+class ClassStats:
+    """Per-query-class serving telemetry (SRS-10/SRS-50/IRS/SJ/ACS/...)."""
+
+    completed: int = 0
+    result_cache_hits: int = 0
+    plan_cache_hits: int = 0
+    shared_scan_rides: int = 0
+    service_seconds: List[float] = field(default_factory=list)
+
+    @property
+    def cache_hit_ratio(self) -> float:
+        """Result-cache hits over completions (misses = executions)."""
+        return self.result_cache_hits / self.completed if self.completed else 0.0
+
+    def as_dict(self) -> dict:
+        out = {"completed": self.completed,
+               "result_cache_hits": self.result_cache_hits,
+               "result_cache_misses": self.completed - self.result_cache_hits,
+               "cache_hit_ratio": round(self.cache_hit_ratio, 6),
+               "plan_cache_hits": self.plan_cache_hits,
+               "shared_scan_rides": self.shared_scan_rides}
+        if self.service_seconds:
+            out["service_p50"] = round(_nearest_rank(self.service_seconds, 0.50), 6)
+            out["service_p95"] = round(_nearest_rank(self.service_seconds, 0.95), 6)
+            out["service_p99"] = round(_nearest_rank(self.service_seconds, 0.99), 6)
+            out["service_histogram"] = _service_histogram(self.service_seconds)
+        return out
+
+
+@dataclass
+class RoundRecord:
+    """One admission round's span: what was admitted and how long it took."""
+
+    round_index: int
+    queue_depth: int
+    admitted: int
+    service_seconds: float
+
+    def as_dict(self) -> dict:
+        return {"round": self.round_index, "queue_depth": self.queue_depth,
+                "admitted": self.admitted,
+                "service_seconds": round(self.service_seconds, 6)}
+
+
 @dataclass
 class ServerStats:
-    """Cumulative serving statistics."""
+    """Cumulative serving statistics plus live telemetry.
+
+    Beyond the run totals, the server records a queue-depth high-water
+    mark and time series (sampled at each admission round), one
+    :class:`RoundRecord` per round (the round's admission/service span),
+    and per-class :class:`ClassStats` with service-time percentiles,
+    histograms and cache hit/miss ratios -- the telemetry the ``serving/*``
+    bench cells export.  All of it is host-side observation; no simulated
+    count changes.
+    """
 
     submitted: int = 0
     completed: int = 0
@@ -125,6 +202,17 @@ class ServerStats:
     shared_scan_reuses: int = 0
     updates: int = 0
     epochs: Dict[str, int] = field(default_factory=dict)
+    queue_depth_high_water: int = 0
+    #: ``(round_index, queue_depth_before_admission)`` samples.
+    queue_depth_series: List[Tuple[int, int]] = field(default_factory=list)
+    round_log: List[RoundRecord] = field(default_factory=list)
+    classes: Dict[str, ClassStats] = field(default_factory=dict)
+
+    def class_stats(self, class_key: str) -> ClassStats:
+        stats = self.classes.get(class_key)
+        if stats is None:
+            stats = self.classes[class_key] = ClassStats()
+        return stats
 
     def as_dict(self) -> dict:
         return {"submitted": self.submitted, "completed": self.completed,
@@ -133,7 +221,13 @@ class ServerStats:
                 "result_cache_hits": self.result_cache_hits,
                 "shared_scan_recordings": self.shared_scan_recordings,
                 "shared_scan_reuses": self.shared_scan_reuses,
-                "updates": self.updates}
+                "updates": self.updates,
+                "queue_depth_high_water": self.queue_depth_high_water,
+                "queue_depth_series": [list(sample) for sample
+                                       in self.queue_depth_series],
+                "rounds_log": [record.as_dict() for record in self.round_log],
+                "classes": {key: stats.as_dict() for key, stats
+                            in sorted(self.classes.items())}}
 
 
 class Server:
@@ -165,9 +259,13 @@ class Server:
                  charge_mode: str = CHARGE_SPAN,
                  memory_budget_bytes: Optional[int] = None,
                  kernel_backend: str = KERNEL_BACKEND_AUTO,
-                 os_interference: Optional[OSInterferenceConfig] = None) -> None:
+                 os_interference: Optional[OSInterferenceConfig] = None,
+                 tracing: str = TRACING_OFF) -> None:
         if max_concurrency < 1:
             raise ValueError("max_concurrency must be at least 1")
+        if tracing not in TRACING_MODES:
+            raise ValueError(f"unknown tracing mode {tracing!r}; "
+                             f"expected one of {TRACING_MODES}")
         self.database = database
         self.checkpoint = dict(checkpoint)
         self.profile = profile
@@ -179,6 +277,7 @@ class Server:
         self.memory_budget_bytes = memory_budget_bytes
         self.kernel_backend = kernel_backend
         self.os_interference = os_interference
+        self.tracing = tracing
         self.plan_cache: Optional[PlanCache] = PlanCache() if plan_cache else None
         self.result_cache: Optional[ResultCache] = (ResultCache()
                                                     if result_cache else None)
@@ -200,6 +299,8 @@ class Server:
         self._submitted += 1
         self.stats.submitted += 1
         self._queue.append(future)
+        if len(self._queue) > self.stats.queue_depth_high_water:
+            self.stats.queue_depth_high_water = len(self._queue)
         return future
 
     @property
@@ -215,6 +316,7 @@ class Server:
         """
         if not self._queue:
             return [], 0.0
+        depth_before = len(self._queue)
         admitted = [self._queue.popleft()
                     for _ in range(min(self.max_concurrency, len(self._queue)))]
         round_start = time.perf_counter()
@@ -225,8 +327,13 @@ class Server:
         if coordinator is not None:
             self.stats.shared_scan_recordings += coordinator.recordings
             self.stats.shared_scan_reuses += coordinator.reuses
+        elapsed = time.perf_counter() - round_start
+        self.stats.queue_depth_series.append((self.stats.rounds, depth_before))
+        self.stats.round_log.append(RoundRecord(
+            round_index=self.stats.rounds, queue_depth=depth_before,
+            admitted=len(admitted), service_seconds=elapsed))
         self.stats.rounds += 1
-        return admitted, time.perf_counter() - round_start
+        return admitted, elapsed
 
     def run_until_idle(self) -> List[ServingFuture]:
         """Serve rounds until the queue drains; returns every served future."""
@@ -255,7 +362,8 @@ class Server:
                           engine=self.engine, batch_size=self.batch_size,
                           charge_mode=self.charge_mode,
                           memory_budget_bytes=self.memory_budget_bytes,
-                          kernel_backend=self.kernel_backend)
+                          kernel_backend=self.kernel_backend,
+                          tracing=self.tracing)
         slot = index % self.max_concurrency
         namespace = f"disk.s{slot}"
         region = self.database.address_space.ensure_region(namespace)
@@ -271,6 +379,7 @@ class Server:
         tables = query_tables(query)
         cache_key = (key, tuple(self._epoch(t) for t in tables))
         is_update = isinstance(query, UpdateQuery)
+        class_stats = self.stats.class_stats(future.label.split("#", 1)[0])
 
         if self.result_cache is not None and not is_update:
             entry = self.result_cache.get(cache_key)
@@ -280,6 +389,9 @@ class Server:
                 future.outcome = outcome
                 self.stats.result_cache_hits += 1
                 self.stats.completed += 1
+                class_stats.completed += 1
+                class_stats.result_cache_hits += 1
+                class_stats.service_seconds.append(outcome.service_seconds)
                 return
 
         session = self._session(future.index)
@@ -327,6 +439,12 @@ class Server:
                                       shared_scan=shared,
                                       service_seconds=time.perf_counter() - start)
         self.stats.completed += 1
+        class_stats.completed += 1
+        if plan_cached:
+            class_stats.plan_cache_hits += 1
+        if shared:
+            class_stats.shared_scan_rides += 1
+        class_stats.service_seconds.append(future.outcome.service_seconds)
 
     def _probe_charge(self, row_count: int) -> Tuple[dict, dict]:
         """Counters and invocations of one cache probe serving ``row_count`` rows.
@@ -371,10 +489,15 @@ class Server:
         breakdown = ExecutionBreakdown.from_counters(
             counters, self.spec, label=f"{self.profile.key}:{label}")
         metrics = compute_metrics(counters, self.spec)
+        trace = None
+        if self.tracing != TRACING_OFF:
+            # A hit never runs operators, so the trace is a single
+            # phase-level span covering the charged probe cost.
+            trace = TraceNode.leaf("result_cache_probe", counters)
         result = QueryResult(
             system=self.profile.key, label=label,
             plan_description="ResultCache hit\n" + entry.plan_description,
             rows=rows, counters=counters, breakdown=breakdown,
             metrics=metrics, engine=self.engine,
-            routine_invocations=dict(invocations))
+            routine_invocations=dict(invocations), trace=trace)
         return QueryOutcome(result=result, result_cached=True)

@@ -138,7 +138,11 @@ class ServingReport:
     total_rows: int
     counters: EventCounters
     latencies: List[float] = field(default_factory=list)
-    stats: Dict[str, int] = field(default_factory=dict)
+    stats: Dict[str, object] = field(default_factory=dict)
+    #: Per-class telemetry: virtual-clock latency percentiles plus the
+    #: server's cache/sharing counters for that class (see
+    #: :class:`repro.serving.server.ClassStats`).
+    classes: Dict[str, dict] = field(default_factory=dict)
 
     def as_dict(self) -> dict:
         return {"queries": self.queries, "rounds": self.rounds,
@@ -149,7 +153,9 @@ class ServingReport:
                 "latency_p99": self.latency_p99,
                 "total_cycles": self.total_cycles,
                 "total_rows": self.total_rows,
-                "stats": dict(self.stats)}
+                "stats": dict(self.stats),
+                "classes": {key: dict(value)
+                            for key, value in sorted(self.classes.items())}}
 
 
 def run_open_loop(server, trace: Sequence[TraceItem]) -> ServingReport:
@@ -166,6 +172,7 @@ def run_open_loop(server, trace: Sequence[TraceItem]) -> ServingReport:
     next_arrival = 0
     submitted: Dict[int, TraceItem] = {}  # server future index -> trace item
     latencies: List[float] = []
+    class_latencies: Dict[str, List[float]] = {}
     counters = EventCounters()
     rounds = 0
     completed = 0
@@ -185,10 +192,22 @@ def run_open_loop(server, trace: Sequence[TraceItem]) -> ServingReport:
         rounds += 1
         for future in served:
             item = submitted[future.index]
-            latencies.append(clock - item.arrival_seconds)
+            latency = clock - item.arrival_seconds
+            latencies.append(latency)
+            class_latencies.setdefault(item.class_key, []).append(latency)
             counters.merge(future.outcome.result.counters)
             total_rows += len(future.outcome.rows)
         completed += len(served)
+    stats = server.stats.as_dict()
+    server_classes = stats.get("classes", {})
+    classes: Dict[str, dict] = {}
+    for class_key, values in class_latencies.items():
+        cell = {"queries": len(values),
+                "latency_p50": percentile(values, 0.50),
+                "latency_p95": percentile(values, 0.95),
+                "latency_p99": percentile(values, 0.99)}
+        cell.update(server_classes.get(class_key, {}))
+        classes[class_key] = cell
     return ServingReport(
         queries=len(items), rounds=rounds, makespan_seconds=clock,
         throughput_qps=len(items) / clock if clock > 0 else float("inf"),
@@ -198,4 +217,4 @@ def run_open_loop(server, trace: Sequence[TraceItem]) -> ServingReport:
         total_cycles=counters.get("CPU_CLK_UNHALTED"),
         total_rows=total_rows,
         counters=counters, latencies=latencies,
-        stats=server.stats.as_dict())
+        stats=stats, classes=classes)

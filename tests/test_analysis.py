@@ -112,6 +112,36 @@ class TestExecutionBreakdown:
         with pytest.raises(BreakdownError):
             ExecutionBreakdown.from_counters(EventCounters())
 
+    def test_average_of_empty_iterable_message(self):
+        with pytest.raises(BreakdownError, match="zero breakdowns"):
+            ExecutionBreakdown.average(iter(()))
+
+    def test_average_of_one_is_identity(self):
+        one = ExecutionBreakdown.from_counters(sample_counters())
+        averaged = ExecutionBreakdown.average([one])
+        assert averaged.total_cycles == pytest.approx(one.total_cycles)
+        for name, value in one.components.items():
+            assert averaged.components[name] == pytest.approx(value)
+
+    def test_merged_with_keeps_component_taxonomy(self):
+        one = ExecutionBreakdown.from_counters(sample_counters())
+        two = ExecutionBreakdown.from_counters(
+            sample_counters(CPU_CLK_UNHALTED=20_000))
+        merged = one.merged_with(two)
+        assert set(merged.components) == set(one.components)
+        for name in one.components:
+            assert merged.components[name] == pytest.approx(
+                one.components[name] + two.components[name])
+        # Merging is order-independent on the numbers.
+        flipped = two.merged_with(one)
+        assert flipped.total_cycles == pytest.approx(merged.total_cycles)
+
+    def test_per_record_zero_records_message(self):
+        counters = sample_counters(RECORDS_PROCESSED=0)
+        breakdown = ExecutionBreakdown.from_counters(counters)
+        with pytest.raises(BreakdownError, match="no records"):
+            breakdown.per_record()
+
 
 class TestMetrics:
     def test_rate_metrics(self):
@@ -164,3 +194,44 @@ class TestReportRendering:
 
     def test_format_percentage(self):
         assert format_percentage(0.5).strip() == "50.0%"
+
+    def test_format_table_custom_formatter_and_row_header(self):
+        text = format_table("Cycles", ["scan"], ["B"],
+                            {"B": {"scan": 1234.0}},
+                            formatter=lambda v: f"{v:,.0f}",
+                            row_header="operator")
+        assert "1,234" in text
+        # Header width accounts for the row-header label.
+        assert text.splitlines()[3].startswith("scan")
+
+    def test_format_table_none_cell_renders_dash(self):
+        text = format_table("T", ["r"], ["A"], {"A": {"r": None}})
+        assert text.splitlines()[-1].strip().endswith("-")
+
+    def test_format_stacked_bars_empty_series_renders_empty_marker(self):
+        text = format_stacked_bars("Bars", {"A": {"x": 0.0, "y": 0.0}},
+                                   ("x", "y"))
+        assert "(empty)" in text
+
+    def test_format_stacked_bars_width_is_clipped(self):
+        text = format_stacked_bars("Bars", {"A": {"x": 1.0, "y": 1.0}},
+                                   ("x", "y"), width=10)
+        bar_line = text.splitlines()[-1]
+        inner = bar_line.split("|")[1]
+        assert len(inner) == 10
+
+    def test_format_key_values_empty_mapping_raises(self):
+        with pytest.raises(ValueError):
+            format_key_values("T", {})
+
+    def test_format_key_values_mixed_types(self):
+        text = format_key_values("T", {"cycles": 1234567, "cpi": 1.5,
+                                       "layout": "pax"})
+        assert "1234567" in text and "1.500" in text and "pax" in text
+
+    def test_format_comparison_aligns_wide_cells(self):
+        rows = [("a-very-long-observation-name", "1", "2", "mismatch")]
+        text = format_comparison("T", rows)
+        header, divider = text.splitlines()[2], text.splitlines()[3]
+        assert len(header) == len(divider)
+        assert "a-very-long-observation-name" in text

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.emon import Emon, EmonError, EventSpec, default_event_list
+from repro.emon import Emon, EmonError, EventSpec, Measurement, default_event_list
 from repro.engine import Session
 from repro.hardware import EventCounters
 from repro.systems import SYSTEM_B
@@ -72,6 +72,36 @@ class TestEmon:
                                 "BR_INST_RETIRED:USER"}
         # Two pairs (2+1 events) at two repetitions each -> four unit runs.
         assert unit.calls == 4
+
+    def test_zero_mean_scatter_fails_confidence(self):
+        """A counter oscillating around zero must not pass silently.
+
+        ``std_dev / mean`` with a zero mean used to short-circuit to 0.0,
+        so a wildly unstable zero-centred measurement looked perfectly
+        confident.  It now reports infinite relative deviation.
+        """
+        spec = EventSpec.parse("INST_RETIRED:USER")
+        scattered = Measurement(spec, samples=[-500.0, 500.0])
+        assert scattered.mean == 0.0
+        assert scattered.std_dev > 0.0
+        assert scattered.relative_std_dev == float("inf")
+        emon = Emon(FakeUnit(), max_relative_std_dev=0.05)
+        assert emon.check_confidence({"INST_RETIRED:USER": scattered}) == \
+            ["INST_RETIRED:USER"]
+
+    def test_all_zero_samples_are_confident(self):
+        spec = EventSpec.parse("INST_RETIRED:USER")
+        silent = Measurement(spec, samples=[0.0, 0.0, 0.0])
+        assert silent.relative_std_dev == 0.0
+        emon = Emon(FakeUnit(), max_relative_std_dev=0.05)
+        assert emon.check_confidence({"INST_RETIRED:USER": silent}) == []
+
+    def test_negative_mean_normalises_by_magnitude(self):
+        spec = EventSpec.parse("INST_RETIRED:USER")
+        negative = Measurement(spec, samples=[-99.0, -101.0])
+        assert negative.relative_std_dev > 0.0
+        assert negative.relative_std_dev == pytest.approx(
+            negative.std_dev / 100.0)
 
     def test_confidence_check_flags_noisy_events(self):
         emon = Emon(FakeUnit(noise=400), repetitions=3, max_relative_std_dev=0.05)

@@ -346,6 +346,97 @@ class TestOpenLoopDriver:
 
 
 # ---------------------------------------------------------------------------
+# Serving telemetry: queue depth, per-round log, per-class stats, tracing
+# ---------------------------------------------------------------------------
+class TestServingTelemetry:
+    def test_queue_depth_high_water_and_series(self):
+        runner = tiny_runner()
+        server = make_server(runner, max_concurrency=2)
+        queries = mixed_queries(runner.micro_workload)
+        for query in queries:
+            server.submit(query)
+        assert server.stats.queue_depth_high_water == len(queries)
+        server.run_until_idle()
+        stats = server.stats.as_dict()
+        assert stats["queue_depth_high_water"] == len(queries)
+        # One series sample per round, round indices consecutive from 0.
+        assert [entry[0] for entry in stats["queue_depth_series"]] \
+            == list(range(server.stats.rounds))
+        assert stats["queue_depth_series"][0][1] == len(queries)
+        rounds_log = stats["rounds_log"]
+        assert len(rounds_log) == server.stats.rounds
+        assert sum(entry["admitted"] for entry in rounds_log) == len(queries)
+        assert all(entry["service_seconds"] >= 0 for entry in rounds_log)
+
+    def test_per_class_stats_partition_the_totals(self):
+        runner = tiny_runner()
+        server = make_server(runner, max_concurrency=4)
+        trace = build_trace(runner.micro_workload,
+                            ServingTraceConfig(queries=16, seed=11))
+        report = run_open_loop(server, trace)
+        classes = server.stats.classes
+        assert sum(cls.completed for cls in classes.values()) == 16
+        assert (sum(cls.result_cache_hits for cls in classes.values())
+                == server.stats.result_cache_hits)
+        for class_key, cls in classes.items():
+            assert len(cls.service_seconds) == cls.completed
+            assert 0.0 <= cls.cache_hit_ratio <= 1.0
+            exported = cls.as_dict()
+            assert exported["result_cache_misses"] \
+                == cls.completed - cls.result_cache_hits
+            assert exported["service_p50"] <= exported["service_p99"]
+        # The report mirrors the same partition, with latency percentiles.
+        assert sum(cell["queries"] for cell in report.classes.values()) == 16
+        for cell in report.classes.values():
+            assert cell["latency_p50"] <= cell["latency_p95"] \
+                <= cell["latency_p99"]
+            assert cell["completed"] == cell["queries"]
+
+    def test_result_cache_hit_gets_probe_trace_leaf(self):
+        runner = tiny_runner()
+        workload = runner.micro_workload
+        query = workload.sequential_range_selection()
+        server = make_server(runner, max_concurrency=2, tracing="spans")
+        miss = server.submit(query)
+        hit = server.submit(query)
+        server.run_until_idle()
+        assert not miss.outcome.result_cached
+        assert hit.outcome.result_cached
+        trace = hit.outcome.result.trace
+        assert trace is not None and trace.name == "result_cache_probe"
+        # The leaf carries exactly the probe's charged counters.
+        assert (trace.inclusive_counters(None).as_dict()
+                == hit.outcome.result.counters.as_dict())
+        # Executed queries carry a full trace tree.
+        assert miss.outcome.result.trace is not None
+        assert miss.outcome.result.trace.children
+
+    def test_untraced_server_attaches_no_traces(self):
+        runner = tiny_runner()
+        server = make_server(runner, max_concurrency=2)
+        query = runner.micro_workload.sequential_range_selection()
+        future = server.submit(query)
+        server.run_until_idle()
+        assert future.outcome.result.trace is None
+
+    def test_traced_server_counts_identical_to_untraced(self):
+        runner = tiny_runner()
+        config = ServingTraceConfig(queries=10, seed=5)
+        plain = run_open_loop(make_server(runner, max_concurrency=4),
+                              build_trace(runner.micro_workload, config))
+        traced = run_open_loop(
+            make_server(runner, max_concurrency=4, tracing="full"),
+            build_trace(runner.micro_workload, config))
+        assert plain.counters.as_dict() == traced.counters.as_dict()
+        assert plain.total_rows == traced.total_rows
+
+    def test_invalid_tracing_mode_rejected(self):
+        runner = tiny_runner()
+        with pytest.raises(ValueError):
+            make_server(runner, tracing="everything")
+
+
+# ---------------------------------------------------------------------------
 # Throughput acceptance (slow: full mixed trace, serial vs concurrency 8)
 # ---------------------------------------------------------------------------
 @pytest.mark.slow
