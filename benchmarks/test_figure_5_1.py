@@ -59,3 +59,28 @@ def test_figure_5_1(regenerate, runner):
         assert 0.15 <= resource["A"] <= 0.45
         for system in ("B", "C", "D"):
             assert 0.05 <= resource[system] <= 0.35, f"{system}/{kind}"
+
+
+@pytest.mark.slow
+@pytest.mark.figure("figure_5_1_layouts")
+def test_figure_5_1_by_layout(regenerate, runner):
+    """The breakdown per page layout, through the warmed-build grid."""
+    figure = regenerate(figure_5_1, runner, layouts=("nsm", "pax"))
+    data = figure.data
+    assert set(data) == {"nsm", "pax"}
+
+    for layout, per_kind in data.items():
+        assert set(per_kind["SRS"]) == {"A", "B", "C", "D"}
+        assert set(per_kind["IRS"]) == {"B", "C", "D"}
+        for kind, per_system in per_kind.items():
+            for system, shares in per_system.items():
+                assert sum(shares.values()) == pytest.approx(1.0), \
+                    f"{layout}/{kind}/{system}"
+                assert all(share >= 0.0 for share in shares.values())
+
+    # PAX's minipage organisation improves the spatial locality of the
+    # narrow sequential scan, so its memory-stall share never grows.
+    for system in ("A", "B", "C", "D"):
+        nsm = data["nsm"]["SRS"][system]["Memory stalls"]
+        pax = data["pax"]["SRS"][system]["Memory stalls"]
+        assert pax <= nsm * 1.02, f"{system}: nsm={nsm:.3f} pax={pax:.3f}"

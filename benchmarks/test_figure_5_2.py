@@ -44,3 +44,29 @@ def test_figure_5_2(regenerate, runner):
     assert srs["B"]["L1 I-stalls"] > srs["B"]["L2 D-stalls"]
     for system in ("A", "C", "D"):
         assert srs[system]["L2 D-stalls"] >= 0.20, system
+
+
+@pytest.mark.slow
+@pytest.mark.figure("figure_5_2_layouts")
+def test_figure_5_2_by_layout(regenerate, runner):
+    """The memory-stall split per page layout (warmed-build grid)."""
+    figure = regenerate(figure_5_2, runner, layouts=("nsm", "pax"))
+    data = figure.data
+    assert set(data) == {"nsm", "pax"}
+
+    for layout, per_kind in data.items():
+        for kind, per_system in per_kind.items():
+            for system, shares in per_system.items():
+                assert sum(shares.values()) == pytest.approx(1.0), \
+                    f"{layout}/{kind}/{system}"
+                # The minor components stay minor under both layouts.
+                assert shares["L2 I-stalls"] <= 0.15, f"{layout}/{kind}/{system}"
+                assert shares["ITLB stalls"] <= 0.12, f"{layout}/{kind}/{system}"
+
+    # PAX's whole point: the narrow sequential scan stops hauling unused
+    # fields through L2, so the L2 data share of memory stalls drops for
+    # every system that was paying it under NSM.
+    for system in ("A", "C", "D"):
+        nsm = data["nsm"]["SRS"][system]["L2 D-stalls"]
+        pax = data["pax"]["SRS"][system]["L2 D-stalls"]
+        assert pax < nsm, f"{system}: nsm={nsm:.3f} pax={pax:.3f}"

@@ -32,3 +32,18 @@ def test_figure_5_3(regenerate, runner):
     assert "IRS" not in data["A"]
     for system in ("B", "C", "D"):
         assert data[system]["IRS"] > data[system]["SRS"]
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("layout", ("nsm", "pax"))
+def test_figure_5_3_by_layout(regenerate, runner, layout):
+    """Instruction counts per record hold their shape under both layouts."""
+    figure = regenerate(figure_5_3, runner, layout=layout)
+    data = figure.data
+    assert figure.name == f"figure_5_3_{layout}"
+    for system, values in data.items():
+        for kind, instructions in values.items():
+            assert 300 <= instructions <= 20_000, \
+                f"{layout}/{system}/{kind}: {instructions:.0f}"
+        assert values["SJ"] > values["SRS"]
+    assert "IRS" not in data["A"]

@@ -39,3 +39,32 @@ def test_figure_5_4_right(regenerate, runner):
     for label in data:
         assert 0.0 < tb[label] < 0.25
         assert 0.0 < l1i[label] < 0.45
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("layout", ("nsm", "pax"))
+def test_figure_5_4_left_by_layout(regenerate, runner, layout):
+    """Branch behaviour is control-flow, not data-placement: the layout
+    leaves every misprediction rate in the paper's band."""
+    figure = regenerate(figure_5_4_left, runner, layout=layout)
+    for system, per_query in figure.data.items():
+        for kind, rate in per_query.items():
+            assert 0.005 <= rate <= 0.30, f"{layout}/{system}/{kind}: {rate:.3f}"
+        rates = list(per_query.values())
+        assert max(rates) - min(rates) < 0.05
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("layout", ("nsm", "pax"))
+def test_figure_5_4_right_by_layout(regenerate, runner, layout):
+    """TB and TL1I still move together when the selectivity grows, per layout."""
+    figure = regenerate(figure_5_4_right, runner, "D", layout=layout)
+    data = figure.data
+    assert set(data) == {"0%", "1%", "5%", "10%", "50%", "100%"}
+    tb = {label: values["Branch mispred. stalls"] for label, values in data.items()}
+    l1i = {label: values["L1 I-cache stalls"] for label, values in data.items()}
+    assert tb["50%"] > tb["0%"]
+    assert l1i["100%"] >= l1i["0%"]
+    for label in data:
+        assert 0.0 < tb[label] < 0.25
+        assert 0.0 < l1i[label] < 0.45

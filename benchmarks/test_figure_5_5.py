@@ -26,3 +26,20 @@ def test_figure_5_5(regenerate, runner):
         for system, per_query in component.items():
             for kind, share in per_query.items():
                 assert 0.0 < share < 0.30, f"{system}/{kind}"
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("layout", ("nsm", "pax"))
+def test_figure_5_5_by_layout(regenerate, runner, layout):
+    """The TDEP-over-TFU ordering is pipeline behaviour, layout-independent."""
+    figure = regenerate(figure_5_5, runner, layout=layout)
+    tdep = figure.data["TDEP"]
+    tfu = figure.data["TFU"]
+    for system in ("B", "C", "D"):
+        for kind, dep_share in tdep[system].items():
+            assert dep_share > tfu[system][kind], f"{layout}/{system}/{kind}"
+    assert tfu["A"]["SRS"] > tdep["A"]["SRS"]
+    for component in (tdep, tfu):
+        for system, per_query in component.items():
+            for kind, share in per_query.items():
+                assert 0.0 < share < 0.35, f"{layout}/{system}/{kind}"

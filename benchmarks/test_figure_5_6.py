@@ -31,3 +31,18 @@ def test_figure_5_6(regenerate, runner):
             srs_share = srs_cpi[group] / srs_cpi["total"]
             tpcd_share = tpcd_cpi[group] / tpcd_cpi["total"]
             assert abs(srs_share - tpcd_share) <= 0.15, f"{system}/{group}"
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("layout", ("nsm", "pax"))
+def test_figure_5_6_by_layout(regenerate, runner, layout):
+    """Micro-vs-TPC-D CPI resemblance survives the layout change (grid)."""
+    figure = regenerate(figure_5_6, runner, layout=layout)
+    srs = figure.data["SRS"]
+    tpcd = figure.data["TPC-D"]
+    assert set(srs) == set(tpcd) == {"A", "B", "D"}
+    for system in srs:
+        assert 0.8 <= srs[system]["total"] <= 2.0, f"{layout}/{system}"
+        assert 0.8 <= tpcd[system]["total"] <= 2.0, f"{layout}/{system}"
+        assert abs(srs[system]["total"] - tpcd[system]["total"]) <= 0.40, \
+            f"{layout}/{system}"

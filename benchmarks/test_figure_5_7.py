@@ -23,3 +23,22 @@ def test_figure_5_7(regenerate, runner):
     for system in ("B", "D"):
         tpcd = figure.data["TPC-D"][system]
         assert tpcd["L1 I-stalls"] == max(tpcd.values())
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("layout", ("nsm", "pax"))
+def test_figure_5_7_by_layout(regenerate, runner, layout):
+    """The cache-stall split keeps its shape per layout (warmed grid)."""
+    figure = regenerate(figure_5_7, runner, layout=layout)
+    for workload in ("SRS", "TPC-D"):
+        for system, shares in figure.data[workload].items():
+            assert sum(shares.values()) == pytest.approx(1.0), \
+                f"{layout}/{workload}/{system}"
+            assert shares["L1 I-stalls"] + shares["L2 D-stalls"] >= 0.60, \
+                f"{layout}/{workload}/{system}"
+            assert shares["L2 I-stalls"] <= 0.15
+    # Instruction stalls keep dominating the DSS workload for B and D --
+    # PAX helps data locality, not the instruction footprint.
+    for system in ("B", "D"):
+        tpcd = figure.data["TPC-D"][system]
+        assert tpcd["L1 I-stalls"] == max(tpcd.values()), f"{layout}/{system}"

@@ -33,3 +33,25 @@ def test_record_size_sweep(regenerate, runner):
 
         # Execution time per record increases with the record size.
         assert all(later > earlier for earlier, later in zip(cycles, cycles[1:])), system
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("layout", ("nsm", "pax"))
+def test_record_size_sweep_by_layout(regenerate, runner, layout):
+    """The record-size trends hold per layout on the warmed-build grid.
+
+    Each (size, layout) point gets its own grid build; the monotone growth
+    of L2 data stalls and of cycles per record is a property of the data
+    geometry, so it must survive the PAX reorganisation too.
+    """
+    figure = regenerate(record_size_sweep, runner, layout=layout)
+    assert figure.name == f"record_size_sweep_{layout}"
+    for system, columns in figure.data.items():
+        sizes = sorted(columns, key=lambda label: int(label.rstrip("B")))
+        tl2d = [columns[size]["TL2D cycles/record"] for size in sizes]
+        cycles = [columns[size]["cycles/record"] for size in sizes]
+        assert all(later > earlier for earlier, later in zip(tl2d, tl2d[1:])), \
+            f"{layout}/{system}"
+        assert all(later > earlier
+                   for earlier, later in zip(cycles, cycles[1:])), \
+            f"{layout}/{system}"

@@ -24,11 +24,14 @@ except ImportError:
 _NEEDS_WORKLOAD_DATA = {
     "test_adaptive.py",
     "test_adaptive_decisions.py",
+    "test_artifact.py",
     "test_emon.py",
     "test_engine_session.py",
     "test_experiments.py",
     "test_grid_and_gate.py",
     "test_integration_paper_claims.py",
+    "test_sweep_properties.py",
+    "test_tpc_differential.py",
     "test_workloads.py",
 }
 

@@ -16,7 +16,12 @@ are gated cycle-identical to the plain ``SJ`` cells) -- and the
 concurrent-serving cells ``SRV-serial``/``SRV-8`` (the open-loop mixed
 arrival trace served back to back vs at concurrency 8 with plan/result
 caches and shared scans; throughput and p50/p95/p99 latency recorded) --
-and emits a ``BENCH_<stamp>.json`` into ``benchmarks/results/``
+and the TPC/sweep cells ``tpc/{nsm,pax}/{TPCD,TPCC}`` (the 17-query TPC-D
+suite and the TPC-C transaction mix on the warmed per-layout TPC grids,
+vectorized engine; TPC-C restores the data checkpoint per run since its
+updates mutate pages in place) and ``sweep/{nsm,pax}/{SEL-50,RS-200}``
+(one representative point of the selectivity and record-size sweeps per
+layout) -- and emits a ``BENCH_<stamp>.json`` into ``benchmarks/results/``
 (gitignored; override with ``--out-dir``) recording, per configuration:
 
 * ``wall_seconds`` -- best-of-``--repeat`` wall-clock time of the measured
@@ -60,12 +65,16 @@ from typing import Dict, List, Optional, Tuple
 
 sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
 
+from repro.engine.session import Session
 from repro.execution.parallel import fork_available
 from repro.experiments.runner import ExperimentConfig, ExperimentRunner
 from repro.hardware.counters import EventCounters
 from repro.systems import SYSTEM_B
+from repro.systems.vendors import oltp_variant, system_by_key
 from repro.workloads.micro import MicroWorkloadConfig
 from repro.workloads.serving import ServingTraceConfig, build_trace, run_open_loop
+from repro.workloads.tpcc import TPCCConfig
+from repro.workloads.tpcd import TPCDConfig
 
 ENGINES = ("tuple", "vectorized")
 LAYOUTS = ("nsm", "pax")
@@ -117,6 +126,22 @@ ADAPTIVE_KINDS = {
 SERVING_KINDS = ("SRV-serial", "SRV-8")
 SERVING_QUERIES = 48
 
+#: TPC cells: the full TPC-D 17-query suite and the TPC-C transaction mix
+#: measured per layout on the warmed TPC grids (vectorized engine,
+#: System B).  TPC-D restores the post-build address-space checkpoint per
+#: run; TPC-C additionally restores the data checkpoint (raw page bytes),
+#: since its updates mutate records in place -- both are asserted
+#: repeat-identical, the runtime check that the warmed-grid path changes
+#: nothing for an update-heavy workload either.
+TPC_KINDS = ("TPCD", "TPCC")
+
+#: Sweep cells: one representative point of each parameter sweep, per
+#: layout -- ``SEL-50`` (the 50%-selectivity sequential selection against
+#: the shared warmed build) and ``RS-200`` (the 200-byte record-size point
+#: against its own warmed layout-pinned build).
+SWEEP_KINDS = ("SEL-50", "RS-200")
+SWEEP_RECORD_SIZE = 200
+
 #: The configuration whose wall clock the perf acceptance criteria track.
 HEADLINE = ("vectorized", "pax", "SRS")
 
@@ -129,9 +154,25 @@ DEFAULT_KERNEL_BACKENDS = ("auto",)
 
 
 def make_runner(scale: Optional[float], parallelism: int = 1) -> ExperimentRunner:
+    """Runner for the bench grid, with every workload scaled from ``--scale``.
+
+    ``--scale`` is the absolute microbenchmark scale; the TPC datasets (and
+    the TPC-C transaction count) shrink by the same factor relative to
+    their defaults, so a small ``--scale`` keeps the tpc/* cells as cheap
+    as the micro cells.  The floors mirror ``ExperimentConfig``'s env-scale
+    defaults.
+    """
     micro = MicroWorkloadConfig() if scale is None else MicroWorkloadConfig(scale=scale)
-    return ExperimentRunner(ExperimentConfig(micro=micro, os_interference=False,
-                                             parallelism=parallelism))
+    factor = 1.0 if scale is None else scale / MicroWorkloadConfig().scale
+    tpcd = TPCDConfig(lineitem_rows=max(int(factor * 5_000), 300),
+                      orders_rows=max(int(factor * 500), 60),
+                      part_rows=max(int(factor * 200), 30),
+                      supplier_rows=max(int(factor * 50), 15))
+    tpcc = TPCCConfig(scale=TPCCConfig().scale * factor)
+    return ExperimentRunner(ExperimentConfig(
+        micro=micro, tpcd=tpcd, tpcc=tpcc,
+        tpcc_transactions=max(int(120 * factor), 10),
+        os_interference=False, parallelism=parallelism))
 
 
 def query_for(workload, kind: str):
@@ -309,6 +350,137 @@ def measure_serving_cell(runner: ExperimentRunner, layout: str, kind: str,
             "_counters": best_report.counters}
 
 
+def measure_tpc_cell(runner: ExperimentRunner, layout: str, kind: str,
+                     repeat: int, kernel_backend: str = "auto") -> dict:
+    """Best-of-``repeat`` TPC run against the warmed per-layout TPC grid.
+
+    Each repeat restores the post-build checkpoint(s) -- address space for
+    the read-only TPC-D suite, address space *plus* raw page bytes for the
+    update-heavy TPC-C mix -- and the identity of simulated cycles and
+    result rows across repeats is asserted: the runtime check that warmed-
+    grid reuse is invisible even when the workload mutates the pages.
+    """
+    best = None
+    cycles = None
+    rows = None
+    counters = None
+    resolved_backend = None
+    transactions = None
+    for _ in range(max(repeat, 1)):
+        if kind == "TPCD":
+            database, checkpoint = runner.tpcd_grid_database(layout)
+            database.address_space.restore(checkpoint)
+            start = time.perf_counter()
+            with Session(database, system_by_key("B"), spec=runner.config.spec,
+                         os_interference=runner.config.os_config(),
+                         engine="vectorized",
+                         kernel_backend=kernel_backend) as session:
+                resolved_backend = session.context.kernels.name
+                result = session.execute_suite(runner.tpcd_workload.queries(),
+                                               warmup_runs=0, label="TPC-D")
+            elapsed = time.perf_counter() - start
+            run_cycles = result.counters.get("CPU_CLK_UNHALTED")
+            run_rows = result.rows
+            run_counters = result.counters
+        else:
+            database, workload, checkpoint, data = runner.tpcc_grid_database(layout)
+            database.address_space.restore(checkpoint)
+            database.data_restore(data)
+            start = time.perf_counter()
+            with Session(database, oltp_variant(system_by_key("B")),
+                         spec=runner.config.spec,
+                         os_interference=runner.config.os_config(),
+                         engine="vectorized",
+                         kernel_backend=kernel_backend) as session:
+                resolved_backend = session.context.kernels.name
+                run_counters, _, _, executed = workload.run(
+                    session, transactions=runner.config.tpcc_transactions,
+                    warmup_transactions=max(
+                        runner.config.tpcc_transactions // 10, 5))
+            elapsed = time.perf_counter() - start
+            run_cycles = run_counters.get("CPU_CLK_UNHALTED")
+            run_rows = executed
+            transactions = executed
+        if cycles is not None and (run_cycles != cycles or run_rows != rows):
+            raise AssertionError(
+                f"warmed TPC grid run of tpc/{layout}/{kind} diverged: "
+                f"cycles {run_cycles} vs {cycles}, "
+                f"rows equal: {run_rows == rows}")
+        if best is None or elapsed < best:
+            best = elapsed
+        cycles = run_cycles
+        rows = run_rows
+        counters = run_counters
+    point = {"engine": "tpc", "layout": layout, "query": kind,
+             "adaptivity": "off",
+             "kernel_backend": kernel_backend,
+             "resolved_kernel_backend": resolved_backend,
+             "wall_seconds": round(best, 6), "cycles": cycles,
+             "branch_mispredictions": counters.get("BR_MISS_PRED_RETIRED"),
+             "result_rows": rows if kind == "TPCD" else [],
+             "_counters": counters}
+    if transactions is not None:
+        point["transactions"] = transactions
+    return point
+
+
+def measure_sweep_cell(runner: ExperimentRunner, layout: str, kind: str,
+                       repeat: int, kernel_backend: str = "auto") -> dict:
+    """Best-of-``repeat`` sweep-point run against its warmed layout build.
+
+    ``SEL-50`` measures the 50%-selectivity sequential selection on the
+    shared grid build; ``RS-200`` measures the default selection on the
+    200-byte record-size build (its own per-(size, layout) warmed
+    database).  Both assert repeat-identity of cycles and rows.
+    """
+    if kind == "SEL-50":
+        workload = runner.micro_workload
+        query = workload.sequential_range_selection(0.5)
+    else:
+        _, workload, _ = runner._record_size_grid_database(
+            SWEEP_RECORD_SIZE, layout)
+        query = workload.sequential_range_selection()
+    best = None
+    cycles = None
+    rows = None
+    counters = None
+    resolved_backend = None
+    for _ in range(max(repeat, 1)):
+        if kind == "SEL-50":
+            database, checkpoint = runner.grid_database(layout)
+        else:
+            database, _, checkpoint = runner._record_size_grid_database(
+                SWEEP_RECORD_SIZE, layout)
+        database.address_space.restore(checkpoint)
+        start = time.perf_counter()
+        with Session(database, system_by_key("B"), spec=runner.config.spec,
+                     os_interference=runner.config.os_config(),
+                     engine="vectorized",
+                     kernel_backend=kernel_backend) as session:
+            resolved_backend = session.context.kernels.name
+            result = session.execute(query, warmup_runs=0)
+        elapsed = time.perf_counter() - start
+        run_cycles = result.counters.get("CPU_CLK_UNHALTED")
+        if cycles is not None and (run_cycles != cycles or result.rows != rows):
+            raise AssertionError(
+                f"warmed sweep run of sweep/{layout}/{kind} diverged: "
+                f"cycles {run_cycles} vs {cycles}, "
+                f"rows equal: {result.rows == rows}")
+        if best is None or elapsed < best:
+            best = elapsed
+        cycles = run_cycles
+        rows = result.rows
+        counters = result.counters
+    return {"engine": "sweep", "layout": layout, "query": kind,
+            "adaptivity": "off",
+            "kernel_backend": kernel_backend,
+            "resolved_kernel_backend": resolved_backend,
+            "wall_seconds": round(best, 6), "cycles": cycles,
+            "branch_mispredictions": counters.get("BR_MISS_PRED_RETIRED"),
+            "result_rows": rows,
+            "_counters": counters}
+
+
 #: Runner inherited by forked grid workers.
 _BENCH_RUNNER: Optional[ExperimentRunner] = None
 _BENCH_REPEAT = 1
@@ -322,6 +494,12 @@ def _measure_any_cell(runner: ExperimentRunner,
     if engine == "serving":
         return measure_serving_cell(runner, layout, kind, repeat=repeat,
                                     kernel_backend=backend)
+    if engine == "tpc":
+        return measure_tpc_cell(runner, layout, kind, repeat=repeat,
+                                kernel_backend=backend)
+    if engine == "sweep":
+        return measure_sweep_cell(runner, layout, kind, repeat=repeat,
+                                  kernel_backend=backend)
     return measure_cell(runner, engine, layout, kind, repeat=repeat,
                         adaptivity=adaptivity, kernel_backend=backend,
                         profile=profile)
@@ -338,8 +516,9 @@ def grid_cells(kernel_backends: Tuple[str, ...] = DEFAULT_KERNEL_BACKENDS,
                cells_filter: Optional[str] = None
                ) -> List[Tuple[str, str, str, str, str]]:
     """The 12 engine x layout x query cells plus the adaptivity,
-    memory-budget and concurrent-serving cells, each measured per kernel
-    backend.  ``cells_filter`` keeps only the cells whose display name
+    memory-budget, concurrent-serving, TPC (``tpc/*``) and sweep-point
+    (``sweep/*``) cells, each measured per kernel backend.
+    ``cells_filter`` keeps only the cells whose display name
     (``engine/layout/query[/adaptivity][/backend]``) matches the glob."""
     cells = [(engine, layout, kind, "off") for engine in ENGINES
              for layout in LAYOUTS for kind in QUERY_KINDS]
@@ -350,6 +529,10 @@ def grid_cells(kernel_backends: Tuple[str, ...] = DEFAULT_KERNEL_BACKENDS,
                  for layout in LAYOUTS for kind in BUDGET_KINDS)
     cells.extend(("serving", layout, kind, "off")
                  for layout in LAYOUTS for kind in SERVING_KINDS)
+    cells.extend(("tpc", layout, kind, "off")
+                 for layout in LAYOUTS for kind in TPC_KINDS)
+    cells.extend(("sweep", layout, kind, "off")
+                 for layout in LAYOUTS for kind in SWEEP_KINDS)
     expanded = [cell + (backend,) for backend in kernel_backends
                 for cell in cells]
     if cells_filter:
@@ -385,10 +568,17 @@ def run_grid(runner: ExperimentRunner, repeat: int, grid_workers: int,
             point["_counters"] = point["_counters"].as_dict()
             points.append(point)
         return points
-    # Pre-build every layout's database so forked workers inherit the
-    # warmed builds instead of rebuilding them per process.
+    # Pre-build every needed warmed database so forked workers inherit the
+    # builds instead of rebuilding them per process.
     for layout in LAYOUTS:
         runner.grid_database(layout)
+    for engine, layout, kind, _, _ in cells:
+        if engine == "tpc" and kind == "TPCD":
+            runner.tpcd_grid_database(layout)
+        elif engine == "tpc":
+            runner.tpcc_grid_database(layout)
+        elif engine == "sweep" and kind == "RS-200":
+            runner._record_size_grid_database(SWEEP_RECORD_SIZE, layout)
     import multiprocessing
     from concurrent.futures import ProcessPoolExecutor
     global _BENCH_RUNNER, _BENCH_REPEAT, _BENCH_PROFILE

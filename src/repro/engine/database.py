@@ -66,6 +66,24 @@ class Database:
     def address_space(self) -> AddressSpace:
         return self.catalog.address_space
 
+    # ------------------------------------------------------- data checkpoint
+    def data_checkpoint(self) -> Dict[str, Tuple]:
+        """Snapshot every table's raw page bytes (see ``HeapFile.data_checkpoint``).
+
+        The address-space checkpoint rolls back *allocation cursors*; this
+        rolls back *data* mutated in place (record updates), which is what
+        lets an update-heavy workload (the TPC-C mix) be measured repeatedly
+        against one shared warmed build with every measurement seeing the
+        freshly built contents.  Purely Python-level: nothing is charged.
+        """
+        return {table.name: table.heap.data_checkpoint()
+                for table in self.catalog.tables()}
+
+    def data_restore(self, snapshot: Dict[str, Tuple]) -> None:
+        """Write a :meth:`data_checkpoint` snapshot back into every table."""
+        for name, pages in snapshot.items():
+            self.catalog.table(name).heap.data_restore(pages)
+
     def summary(self) -> Dict[str, Dict[str, int]]:
         """Per-table row/page/byte counts, for reports and examples."""
         out: Dict[str, Dict[str, int]] = {}

@@ -104,6 +104,18 @@ def figure_5_1(runner: ExperimentRunner,
                         data=data, text="\n\n".join(sections))
 
 
+def _layout_naming(base: str, layout: Optional[str]) -> Tuple[str, str]:
+    """``(figure name, title tag)`` for a layout-pinned figure variant.
+
+    ``None`` keeps the legacy name (and an empty tag) so existing figure
+    consumers see byte-identical output; a pinned layout suffixes the name
+    and tags the rendered title.
+    """
+    if layout is None:
+        return base, ""
+    return f"{base}_{layout}", f" [{layout.upper()}]"
+
+
 def _breakdown_by_layout(runner: ExperimentRunner, layouts: Sequence[str],
                          figure: str) -> FigureResult:
     """Per-layout variants of the Figure 5.1 / 5.2 breakdowns.
@@ -188,12 +200,16 @@ def figure_5_2(runner: ExperimentRunner,
 # ---------------------------------------------------------------------------
 # Figure 5.3: instructions retired per record
 # ---------------------------------------------------------------------------
-def figure_5_3(runner: ExperimentRunner) -> FigureResult:
+def figure_5_3(runner: ExperimentRunner,
+               layout: Optional[str] = None) -> FigureResult:
     """Instructions retired per record for each system and query.
 
     Following the paper's definitions: the sequential selection and the join
     divide by the number of records in R; the indexed selection divides by
-    the number of *selected* records.
+    the number of *selected* records.  ``layout`` pins the page layout and
+    measures through the warmed-build grid (see
+    :meth:`~repro.experiments.runner.ExperimentRunner.micro_result`);
+    ``None`` keeps the paper's NSM discipline bit-identical.
     """
     r_rows = runner.r_rows()
     selected = runner.selected_records()
@@ -201,43 +217,47 @@ def figure_5_3(runner: ExperimentRunner) -> FigureResult:
     for profile in runner.systems():
         per_query: Dict[str, float] = {}
         for kind in QUERY_KINDS:
-            result = runner.micro_result(profile.key, kind)
+            result = runner.micro_result(profile.key, kind, layout=layout)
             if result is None:
                 continue
             instructions = result.counters.get("INST_RETIRED")
             divisor = selected if kind == "IRS" else r_rows
             per_query[kind] = instructions / max(divisor, 1)
         data[profile.key] = per_query
-    text = format_table("Figure 5.3: Instructions retired per record",
+    name, tag = _layout_naming("figure_5_3", layout)
+    text = format_table(f"Figure 5.3{tag}: Instructions retired per record",
                         list(QUERY_KINDS), list(data.keys()),
                         data, formatter=lambda v: f"{v:,.0f}")
-    return FigureResult(name="figure_5_3", title="Instructions retired per record",
+    return FigureResult(name=name, title="Instructions retired per record",
                         data=data, text=text)
 
 
 # ---------------------------------------------------------------------------
 # Figure 5.4: branch misprediction rates; TB and TL1I vs selectivity
 # ---------------------------------------------------------------------------
-def figure_5_4_left(runner: ExperimentRunner) -> FigureResult:
+def figure_5_4_left(runner: ExperimentRunner,
+                    layout: Optional[str] = None) -> FigureResult:
     """Branch misprediction rates per system and query."""
     data: Dict[str, Dict[str, float]] = {}
     for profile in runner.systems():
         per_query: Dict[str, float] = {}
         for kind in QUERY_KINDS:
-            result = runner.micro_result(profile.key, kind)
+            result = runner.micro_result(profile.key, kind, layout=layout)
             if result is None:
                 continue
             per_query[kind] = result.metrics.branch_misprediction_rate
         data[profile.key] = per_query
-    text = format_table("Figure 5.4 (left): branch misprediction rates",
+    name, tag = _layout_naming("figure_5_4_left", layout)
+    text = format_table(f"Figure 5.4 (left){tag}: branch misprediction rates",
                         list(QUERY_KINDS), list(data.keys()), data)
-    return FigureResult(name="figure_5_4_left", title="Branch misprediction rates",
+    return FigureResult(name=name, title="Branch misprediction rates",
                         data=data, text=text)
 
 
-def figure_5_4_right(runner: ExperimentRunner, system_key: str = "D") -> FigureResult:
+def figure_5_4_right(runner: ExperimentRunner, system_key: str = "D",
+                     layout: Optional[str] = None) -> FigureResult:
     """TB and TL1I (as % of execution time) versus selectivity for one system."""
-    series = runner.selectivity_series(system_key, "SRS")
+    series = runner.selectivity_series(system_key, "SRS", layout=layout)
     data: Dict[str, Dict[str, float]] = {}
     for selectivity, result in sorted(series.items()):
         shares = result.breakdown.component_shares()
@@ -245,11 +265,12 @@ def figure_5_4_right(runner: ExperimentRunner, system_key: str = "D") -> FigureR
             "Branch mispred. stalls": shares["TB"],
             "L1 I-cache stalls": shares["TL1I"],
         }
+    name, tag = _layout_naming("figure_5_4_right", layout)
     text = format_table(
-        f"Figure 5.4 (right): System {system_key} sequential selection -- "
+        f"Figure 5.4 (right){tag}: System {system_key} sequential selection -- "
         f"TB and TL1I vs selectivity",
         ["Branch mispred. stalls", "L1 I-cache stalls"], list(data.keys()), data)
-    return FigureResult(name="figure_5_4_right",
+    return FigureResult(name=name,
                         title="Branch and L1I stalls vs selectivity",
                         data=data, text=text)
 
@@ -257,77 +278,98 @@ def figure_5_4_right(runner: ExperimentRunner, system_key: str = "D") -> FigureR
 # ---------------------------------------------------------------------------
 # Figure 5.5: TDEP and TFU contributions
 # ---------------------------------------------------------------------------
-def figure_5_5(runner: ExperimentRunner) -> FigureResult:
+def figure_5_5(runner: ExperimentRunner,
+               layout: Optional[str] = None) -> FigureResult:
     """Dependency and functional-unit stall contributions to execution time."""
     data: Dict[str, Dict[str, Dict[str, float]]] = {}
     sections = []
+    name, tag = _layout_naming("figure_5_5", layout)
     for component, label in (("TDEP", "TDEP"), ("TFU", "TFU")):
         per_system: Dict[str, Dict[str, float]] = {}
         for profile in runner.systems():
             per_query: Dict[str, float] = {}
             for kind in QUERY_KINDS:
-                result = runner.micro_result(profile.key, kind)
+                result = runner.micro_result(profile.key, kind, layout=layout)
                 if result is None:
                     continue
                 per_query[kind] = result.breakdown.component_shares()[component]
             per_system[profile.key] = per_query
         data[label] = per_system
         sections.append(format_table(
-            f"Figure 5.5: {label} contribution to execution time",
+            f"Figure 5.5{tag}: {label} contribution to execution time",
             list(QUERY_KINDS), list(per_system.keys()), per_system))
-    return FigureResult(name="figure_5_5", title="Resource stall split",
+    return FigureResult(name=name, title="Resource stall split",
                         data=data, text="\n\n".join(sections))
 
 
 # ---------------------------------------------------------------------------
 # Figures 5.6 / 5.7: microbenchmark versus TPC-D
 # ---------------------------------------------------------------------------
+def _tpcd_for_figure(runner: ExperimentRunner, system: str,
+                     layout: Optional[str]):
+    """The TPC-D suite result a comparison figure should use.
+
+    The legacy path (``layout is None``) is the historical fresh-NSM-build
+    tuple-engine measurement; a pinned layout routes through the warmed TPC
+    grid with the *tuple* engine so the page layout is the only axis that
+    changed relative to the paper's measurement.
+    """
+    if layout is None:
+        return runner.tpcd_result(system)
+    return runner.tpcd_grid_result(layout, system_key=system, engine="tuple")
+
+
 def figure_5_6(runner: ExperimentRunner,
-               systems: Sequence[str] = TPCD_SYSTEMS) -> FigureResult:
+               systems: Sequence[str] = TPCD_SYSTEMS,
+               layout: Optional[str] = None) -> FigureResult:
     """Clocks-per-instruction breakdown: 10% sequential selection vs TPC-D."""
     data: Dict[str, Dict[str, Dict[str, float]]] = {"SRS": {}, "TPC-D": {}}
     for system in systems:
-        srs = runner.micro_result(system, "SRS")
+        srs = runner.micro_result(system, "SRS", layout=layout)
         assert srs is not None
-        tpcd = runner.tpcd_result(system)
+        tpcd = _tpcd_for_figure(runner, system, layout)
         data["SRS"][system] = cpi_breakdown(srs.breakdown, srs.counters.get("INST_RETIRED"))
         data["TPC-D"][system] = cpi_breakdown(tpcd.breakdown, tpcd.counters.get("INST_RETIRED"))
     rows = ["computation", "memory", "branch", "resource", "total"]
+    name, tag = _layout_naming("figure_5_6", layout)
     sections = [
-        format_table("Figure 5.6 (left): CPI breakdown, 10% sequential selection",
+        format_table(f"Figure 5.6 (left){tag}: CPI breakdown, 10% sequential selection",
                      rows, list(data["SRS"].keys()), data["SRS"],
                      formatter=lambda v: f"{v:.2f}"),
-        format_table("Figure 5.6 (right): CPI breakdown, TPC-D average",
+        format_table(f"Figure 5.6 (right){tag}: CPI breakdown, TPC-D average",
                      rows, list(data["TPC-D"].keys()), data["TPC-D"],
                      formatter=lambda v: f"{v:.2f}"),
     ]
-    return FigureResult(name="figure_5_6", title="CPI breakdown, micro vs TPC-D",
+    return FigureResult(name=name, title="CPI breakdown, micro vs TPC-D",
                         data=data, text="\n\n".join(sections))
 
 
 def figure_5_7(runner: ExperimentRunner,
-               systems: Sequence[str] = TPCD_SYSTEMS) -> FigureResult:
+               systems: Sequence[str] = TPCD_SYSTEMS,
+               layout: Optional[str] = None) -> FigureResult:
     """Cache-related stall breakdown: 10% sequential selection vs TPC-D."""
     cache_components = ("TL1D", "TL1I", "TL2D", "TL2I")
     labels = dict(zip(cache_components, ("L1 D-stalls", "L1 I-stalls",
                                          "L2 D-stalls", "L2 I-stalls")))
     data: Dict[str, Dict[str, Dict[str, float]]] = {"SRS": {}, "TPC-D": {}}
     for system in systems:
-        for workload_name, result in (("SRS", runner.micro_result(system, "SRS")),
-                                      ("TPC-D", runner.tpcd_result(system))):
+        for workload_name, result in (
+                ("SRS", runner.micro_result(system, "SRS", layout=layout)),
+                ("TPC-D", _tpcd_for_figure(runner, system, layout))):
             assert result is not None
             components = result.breakdown.components
             total = sum(components[name] for name in cache_components)
             data[workload_name][system] = {
                 labels[name]: (components[name] / total if total else 0.0)
                 for name in cache_components}
+    name, tag = _layout_naming("figure_5_7", layout)
     sections = [
-        format_table("Figure 5.7 (left): cache-related stalls, 10% sequential selection",
+        format_table(f"Figure 5.7 (left){tag}: cache-related stalls, 10% sequential selection",
                      list(labels.values()), list(data["SRS"].keys()), data["SRS"]),
-        format_table("Figure 5.7 (right): cache-related stalls, TPC-D average",
+        format_table(f"Figure 5.7 (right){tag}: cache-related stalls, TPC-D average",
                      list(labels.values()), list(data["TPC-D"].keys()), data["TPC-D"]),
     ]
-    return FigureResult(name="figure_5_7", title="Cache stalls, micro vs TPC-D",
+    return FigureResult(name=name, title="Cache stalls, micro vs TPC-D",
                         data=data, text="\n\n".join(sections))
 
 
@@ -335,12 +377,22 @@ def figure_5_7(runner: ExperimentRunner,
 # Section 5.5 text: TPC-C observations
 # ---------------------------------------------------------------------------
 def tpcc_summary(runner: ExperimentRunner,
-                 systems: Optional[Sequence[str]] = None) -> FigureResult:
-    """Section 5.5's TPC-C observations: CPI, memory-stall share, L2 dominance."""
+                 systems: Optional[Sequence[str]] = None,
+                 layout: Optional[str] = None) -> FigureResult:
+    """Section 5.5's TPC-C observations: CPI, memory-stall share, L2 dominance.
+
+    ``layout`` pins the page layout and measures through the warmed TPC-C
+    grid (tuple engine, both checkpoints restored per arm); ``None`` keeps
+    the historical fresh-NSM-build measurement bit-identical.
+    """
     systems = [p.key for p in runner.systems()] if systems is None else list(systems)
     data: Dict[str, Dict[str, float]] = {}
     for system in systems:
-        result = runner.tpcc_result(system)
+        if layout is None:
+            result = runner.tpcc_result(system)
+        else:
+            result = runner.tpcc_grid_result(layout, system_key=system,
+                                             engine="tuple")
         shares = result.breakdown.shares()
         memory_shares = result.breakdown.memory_shares()
         data[system] = {
@@ -349,19 +401,21 @@ def tpcc_summary(runner: ExperimentRunner,
             "L2 share of memory stalls": memory_shares["TL2D"] + memory_shares["TL2I"],
             "resource stall share": shares["resource"],
         }
-    text = format_table("Section 5.5: TPC-C workload characteristics",
+    name, tag = _layout_naming("tpcc_summary", layout)
+    text = format_table(f"Section 5.5{tag}: TPC-C workload characteristics",
                         ["CPI", "memory stall share", "L2 share of memory stalls",
                          "resource stall share"],
                         list(data.keys()), data, formatter=lambda v: f"{v:6.2f}")
-    return FigureResult(name="tpcc_summary", title="TPC-C observations", data=data, text=text)
+    return FigureResult(name=name, title="TPC-C observations", data=data, text=text)
 
 
 # ---------------------------------------------------------------------------
 # Section 5.2 text: record size sweep
 # ---------------------------------------------------------------------------
-def record_size_sweep(runner: ExperimentRunner) -> FigureResult:
+def record_size_sweep(runner: ExperimentRunner,
+                      layout: Optional[str] = None) -> FigureResult:
     """TL2D, L1I misses and cycles per record as the record size grows."""
-    series = runner.record_size_series()
+    series = runner.record_size_series(layout=layout)
     data: Dict[str, Dict[str, Dict[str, float]]] = {}
     for (system, size), result in sorted(series.items()):
         records = max(result.counters.get("RECORDS_PROCESSED"), 1)
@@ -371,13 +425,101 @@ def record_size_sweep(runner: ExperimentRunner) -> FigureResult:
             "L1I misses/record": result.counters.get("IFU_IFETCH_MISS") / records,
             "cycles/record": per_record["total"],
         }
+    name, tag = _layout_naming("record_size_sweep", layout)
     sections = []
     for system, columns in data.items():
         sections.append(format_table(
-            f"Section 5.2: record-size sweep, System {system} sequential selection",
+            f"Section 5.2{tag}: record-size sweep, System {system} sequential selection",
             ["TL2D cycles/record", "L1I misses/record", "cycles/record"],
             list(columns.keys()), columns, formatter=lambda v: f"{v:,.1f}"))
-    return FigureResult(name="record_size_sweep", title="Record size sweep",
+    return FigureResult(name=name, title="Record size sweep",
+                        data=data, text="\n\n".join(sections))
+
+
+# ---------------------------------------------------------------------------
+# TPC workloads under the modern engine matrix (layouts x engines x workers)
+# ---------------------------------------------------------------------------
+def tpcd_matrix(runner: ExperimentRunner,
+                layouts: Sequence[str] = ("nsm", "pax"),
+                engines: Sequence[str] = ("tuple", "vectorized"),
+                system_key: str = "B",
+                workers: Sequence[int] = (1,)) -> FigureResult:
+    """TPC-D suite across the modern engine matrix, on the warmed grid.
+
+    Every arm shares one warmed build per layout (checkpoint-restored), so
+    the matrix isolates exactly the engine/layout/parallelism axes: the
+    paper's NSM + tuple arm is the baseline, PAX moves the data stalls,
+    vectorization moves the instruction/branch stalls, and ``workers`` is
+    count-identical by design (the charge-tape replay wall).
+    """
+    data: Dict[str, Dict[str, Dict[str, float]]] = {}
+    sections = []
+    metric_rows = ["cycles", "CPI", "memory stall share",
+                   "instructions", "routine invocations"]
+    for layout in layouts:
+        per_arm: Dict[str, Dict[str, float]] = {}
+        for engine in engines:
+            for n in workers:
+                result = runner.tpcd_grid_result(layout, system_key=system_key,
+                                                 engine=engine, workers=n)
+                arm = engine if n == 1 else f"{engine}/w{n}"
+                per_arm[arm] = {
+                    "cycles": float(result.breakdown.total_cycles),
+                    "CPI": result.metrics.cpi,
+                    "memory stall share": result.breakdown.shares()["memory"],
+                    "instructions": float(result.counters.get("INST_RETIRED")),
+                    "routine invocations": float(result.total_routine_invocations),
+                }
+        data[layout] = per_arm
+        sections.append(format_table(
+            f"TPC-D matrix ({layout.upper()}): 17-query average, System {system_key}",
+            metric_rows, list(per_arm.keys()), per_arm,
+            formatter=lambda v: f"{v:,.2f}"))
+    return FigureResult(name="tpcd_matrix",
+                        title="TPC-D under the modern engine matrix",
+                        data=data, text="\n\n".join(sections))
+
+
+def tpcc_matrix(runner: ExperimentRunner,
+                layouts: Sequence[str] = ("nsm", "pax"),
+                engines: Sequence[str] = ("tuple", "vectorized"),
+                system_key: str = "B",
+                workers: Sequence[int] = (1,)) -> FigureResult:
+    """TPC-C mix across the modern engine matrix, on the warmed grid.
+
+    The update-heavy mix runs against one warmed build per layout with
+    *both* the address-space checkpoint and the data checkpoint restored
+    before every arm, so arms are fresh-build-identical despite the
+    in-place record updates.
+    """
+    data: Dict[str, Dict[str, Dict[str, float]]] = {}
+    sections = []
+    metric_rows = ["cycles", "CPI", "memory stall share",
+                   "L2 share of memory stalls", "transactions"]
+    for layout in layouts:
+        per_arm: Dict[str, Dict[str, float]] = {}
+        for engine in engines:
+            for n in workers:
+                result = runner.tpcc_grid_result(layout, system_key=system_key,
+                                                 engine=engine, workers=n)
+                shares = result.breakdown.shares()
+                memory_shares = result.breakdown.memory_shares()
+                arm = engine if n == 1 else f"{engine}/w{n}"
+                per_arm[arm] = {
+                    "cycles": float(result.breakdown.total_cycles),
+                    "CPI": result.metrics.cpi,
+                    "memory stall share": shares["memory"],
+                    "L2 share of memory stalls":
+                        memory_shares["TL2D"] + memory_shares["TL2I"],
+                    "transactions": float(result.transactions),
+                }
+        data[layout] = per_arm
+        sections.append(format_table(
+            f"TPC-C matrix ({layout.upper()}): transaction mix, System {system_key}",
+            metric_rows, list(per_arm.keys()), per_arm,
+            formatter=lambda v: f"{v:,.2f}"))
+    return FigureResult(name="tpcc_matrix",
+                        title="TPC-C under the modern engine matrix",
                         data=data, text="\n\n".join(sections))
 
 

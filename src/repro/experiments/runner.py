@@ -130,6 +130,22 @@ class ExperimentRunner:
         self._grid_dbs: Dict[str, Tuple[Database, Dict[str, int]]] = {}
         self._grid_results: Dict[Tuple[str, str, str, str], QueryResult] = {}
         self._adaptive_results: Dict[Tuple[str, str, str], QueryResult] = {}
+        # Warmed TPC builds, one per page layout, shared by every engine/
+        # charge-mode/worker/backend arm of the TPC-under-the-modern-engine
+        # matrix.  TPC-D is read-only, so the address-space checkpoint
+        # suffices; the TPC-C mix *updates* records, so its entry also
+        # carries a data checkpoint (raw page bytes) restored before every
+        # measurement -- each arm sees the freshly built contents.
+        self._tpcd_grid_dbs: Dict[str, Tuple[Database, Dict[str, int]]] = {}
+        self._tpcd_grid_results: Dict[Tuple, QueryResult] = {}
+        self._tpcc_grid_dbs: Dict[str, Tuple[Database, TPCCWorkload,
+                                             Dict[str, int], Dict]] = {}
+        self._tpcc_grid_results: Dict[Tuple, TPCCResult] = {}
+        # Per-(record size, layout) warmed builds for the layout-pinned
+        # record-size sweep (each point is its own database).
+        self._record_size_grid_dbs: Dict[Tuple[int, str],
+                                         Tuple[Database, MicroWorkload,
+                                               Dict[str, int]]] = {}
 
     # ----------------------------------------------------------- workloads
     @property
@@ -205,10 +221,11 @@ class ExperimentRunner:
 
         if layout is not None:
             if record_size != self.config.micro.record_size:
-                raise ValueError("layout-pinned measurements support only the "
-                                 "default record size")
-            workload = self.micro_workload
-            database, checkpoint = self.grid_database(layout)
+                database, workload, checkpoint = \
+                    self._record_size_grid_database(record_size, layout)
+            else:
+                workload = self.micro_workload
+                database, checkpoint = self.grid_database(layout)
             database.address_space.restore(checkpoint)
             session = Session(database, profile, spec=self.config.spec,
                               os_interference=self.config.os_config(),
@@ -247,13 +264,20 @@ class ExperimentRunner:
                 for kind in kinds}
 
     def selectivity_series(self, system_key: str = "D", kind: str = "SRS",
-                           selectivities: Optional[Sequence[float]] = None
+                           selectivities: Optional[Sequence[float]] = None,
+                           layout: Optional[str] = None
                            ) -> Dict[float, QueryResult]:
-        """Measurements across the selectivity sweep (Figure 5.4 right)."""
+        """Measurements across the selectivity sweep (Figure 5.4 right).
+
+        ``layout`` pins the page layout and measures every point against the
+        shared warmed grid build for that layout (see :meth:`micro_result`);
+        ``None`` keeps the historical shared-NSM path bit-identical.
+        """
         selectivities = self.config.selectivity_points if selectivities is None else selectivities
         out: Dict[float, QueryResult] = {}
         for selectivity in selectivities:
-            result = self.micro_result(system_key, kind, selectivity=selectivity)
+            result = self.micro_result(system_key, kind, selectivity=selectivity,
+                                       layout=layout)
             if result is not None:
                 out[selectivity] = result
         return out
@@ -267,16 +291,41 @@ class ExperimentRunner:
             self._record_size_dbs[record_size] = (database, workload)
         return self._record_size_dbs[record_size]
 
+    def _record_size_grid_database(self, record_size: int, layout: str
+                                   ) -> Tuple[Database, MicroWorkload, Dict[str, int]]:
+        """Warmed layout-pinned build for one record-size sweep point.
+
+        Mirrors :meth:`_record_size_database` but builds with the requested
+        page layout and takes the post-build address-space checkpoint, so
+        every session against the point rolls back to fresh-build state --
+        the sweep's measurements cannot depend on point build order.
+        """
+        key = (record_size, layout)
+        cached = self._record_size_grid_dbs.get(key)
+        if cached is None:
+            workload = MicroWorkload(replace(self.config.micro, record_size=record_size))
+            database = workload.build(include_s=False, layout_style=layout)
+            workload.create_selection_index(database)
+            cached = (database, workload, database.address_space.checkpoint())
+            self._record_size_grid_dbs[key] = cached
+        return cached
+
     def record_size_series(self, systems: Optional[Sequence[str]] = None,
-                           record_sizes: Optional[Sequence[int]] = None
+                           record_sizes: Optional[Sequence[int]] = None,
+                           layout: Optional[str] = None
                            ) -> Dict[Tuple[str, int], QueryResult]:
-        """Sequential-selection measurements across record sizes (Section 5.2)."""
+        """Sequential-selection measurements across record sizes (Section 5.2).
+
+        ``layout`` pins the page layout; each sweep point then measures
+        against its own warmed checkpoint-restored build for that layout.
+        """
         systems = self.config.record_size_systems if systems is None else systems
         record_sizes = self.config.record_size_points if record_sizes is None else record_sizes
         out: Dict[Tuple[str, int], QueryResult] = {}
         for system in systems:
             for size in record_sizes:
-                result = self.micro_result(system, "SRS", record_size=size)
+                result = self.micro_result(system, "SRS", record_size=size,
+                                           layout=layout)
                 assert result is not None
                 out[(system, size)] = result
         return out
@@ -307,6 +356,117 @@ class ExperimentRunner:
             self._tpcc_results[key] = TPCCResult(system=key, breakdown=breakdown,
                                                  metrics=metrics, transactions=executed)
         return self._tpcc_results[key]
+
+    # ------------------------------------------------- TPC warmed-build grid
+    def tpcd_grid_database(self, layout: str) -> Tuple[Database, Dict[str, int]]:
+        """The warmed TPC-D build for one page layout, plus its checkpoint.
+
+        Built exactly once per layout; every arm of the TPC-under-the-
+        modern-engine matrix shares it.  The suite is read-only, so the
+        address-space checkpoint alone restores fresh-build state.
+        """
+        cached = self._tpcd_grid_dbs.get(layout)
+        if cached is None:
+            database = self.tpcd_workload.build(layout_style=layout)
+            cached = (database, database.address_space.checkpoint())
+            self._tpcd_grid_dbs[layout] = cached
+        return cached
+
+    def tpcd_grid_result(self, layout: str, system_key: str = "B",
+                         engine: str = "vectorized",
+                         charge_mode: Optional[str] = None,
+                         workers: int = 1,
+                         kernel_backend: Optional[str] = None,
+                         adaptivity: str = "off") -> QueryResult:
+        """The 17-query TPC-D suite on the warmed grid, one engine-matrix arm.
+
+        Restores the layout's post-build checkpoint, then runs the full
+        suite exactly like :meth:`tpcd_result` (``warmup_runs=0``, averaged
+        label ``"TPC-D"``) but through the modern-engine knobs: ``engine``
+        (tuple/vectorized), ``charge_mode`` (``per_address``/``span``),
+        ``workers`` (morsel parallelism) and ``kernel_backend``.  Counts are
+        identical across charge modes, worker counts and backends by design;
+        engines differ (that is the ablation).
+        """
+        key = (layout, system_key.upper(), engine, charge_mode, workers,
+               kernel_backend, adaptivity)
+        cached = self._tpcd_grid_results.get(key)
+        if cached is not None:
+            return cached
+        database, checkpoint = self.tpcd_grid_database(layout)
+        database.address_space.restore(checkpoint)
+        kwargs = {}
+        if charge_mode is not None:
+            kwargs["charge_mode"] = charge_mode
+        if kernel_backend is not None:
+            kwargs["kernel_backend"] = kernel_backend
+        with Session(database, system_by_key(system_key), spec=self.config.spec,
+                     os_interference=self.config.os_config(), engine=engine,
+                     parallelism=workers, adaptivity=adaptivity,
+                     adaptive_joins=(adaptivity != "off"),
+                     **kwargs) as session:
+            result = session.execute_suite(self.tpcd_workload.queries(),
+                                           warmup_runs=0, label="TPC-D")
+        self._tpcd_grid_results[key] = result
+        return result
+
+    def tpcc_grid_database(self, layout: str
+                           ) -> Tuple[Database, TPCCWorkload, Dict[str, int], Dict]:
+        """The warmed TPC-C build for one layout, plus both checkpoints.
+
+        The transaction mix *updates* records in place, so fresh-build
+        state needs two restores: the address-space checkpoint (allocation
+        cursors) and the data checkpoint (raw page bytes snapshotted right
+        after the build).  Slot directories and indexes are untouched by
+        the mix's absolute-value updates, so page bytes are sufficient.
+        """
+        cached = self._tpcc_grid_dbs.get(layout)
+        if cached is None:
+            workload = TPCCWorkload(self.config.tpcc)
+            database = workload.build(layout_style=layout)
+            cached = (database, workload, database.address_space.checkpoint(),
+                      database.data_checkpoint())
+            self._tpcc_grid_dbs[layout] = cached
+        return cached
+
+    def tpcc_grid_result(self, layout: str, system_key: str = "B",
+                         engine: str = "vectorized",
+                         charge_mode: Optional[str] = None,
+                         workers: int = 1,
+                         kernel_backend: Optional[str] = None) -> TPCCResult:
+        """The TPC-C mix on the warmed grid, one engine-matrix arm.
+
+        Restores both the address-space checkpoint *and* the data
+        checkpoint before driving the mix, so every arm measures the
+        freshly built table contents no matter which update-heavy arms ran
+        before it -- the warmed-build discipline extended to a mutating
+        workload.  Drive parameters match :meth:`tpcc_result` exactly
+        (OLTP profile variant, configured transaction count, 10% warm-up).
+        """
+        key = (layout, system_key.upper(), engine, charge_mode, workers,
+               kernel_backend)
+        cached = self._tpcc_grid_results.get(key)
+        if cached is not None:
+            return cached
+        database, workload, checkpoint, data = self.tpcc_grid_database(layout)
+        database.address_space.restore(checkpoint)
+        database.data_restore(data)
+        profile = oltp_variant(system_by_key(system_key))
+        kwargs = {}
+        if charge_mode is not None:
+            kwargs["charge_mode"] = charge_mode
+        if kernel_backend is not None:
+            kwargs["kernel_backend"] = kernel_backend
+        with Session(database, profile, spec=self.config.spec,
+                     os_interference=self.config.os_config(), engine=engine,
+                     parallelism=workers, **kwargs) as session:
+            _, breakdown, metrics, executed = workload.run(
+                session, transactions=self.config.tpcc_transactions,
+                warmup_transactions=max(self.config.tpcc_transactions // 10, 5))
+        result = TPCCResult(system=system_key.upper(), breakdown=breakdown,
+                            metrics=metrics, transactions=executed)
+        self._tpcc_grid_results[key] = result
+        return result
 
     # -------------------------------------------------- engine x layout grid
     def grid_database(self, layout: str) -> Tuple[Database, Dict[str, int]]:

@@ -207,6 +207,24 @@ class BufferPool:
         """Whether ``page_number`` is retrievable (resident or spilled)."""
         return page_number in self._frames or page_number in self._store
 
+    def peek_page(self, page_number: int) -> SlottedPage:
+        """Uncharged, bookkeeping-free access to a page frame.
+
+        Unlike :meth:`fetch_page` this touches neither the fetch statistics
+        nor the LRU order and never performs (or charges) a reload -- the
+        page is returned wherever it currently lives, resident or spilled.
+        It exists for *measurement infrastructure* (data checkpoints of a
+        warmed build) that must observe page contents without perturbing
+        the simulated machine or the pool state.
+        """
+        page = self._frames.get(page_number)
+        if page is None:
+            page = self._store.get(page_number)
+        if page is None:
+            raise BufferPoolError(
+                f"page {page_number} was never allocated in this pool")
+        return page
+
     def is_resident(self, page_number: int) -> bool:
         return page_number in self._frames
 

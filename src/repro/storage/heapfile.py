@@ -147,6 +147,43 @@ class HeapFile:
     def page_numbers(self) -> Tuple[int, ...]:
         return tuple(self._page_numbers)
 
+    # ------------------------------------------------------- data checkpoint
+    def data_checkpoint(self) -> Tuple[Tuple[int, bytes, bool], ...]:
+        """Snapshot every page's raw bytes (plus its dirty flag).
+
+        Together with :meth:`data_restore` this extends the warmed-build
+        reuse discipline (``AddressSpace.checkpoint``/``restore``, which
+        only rolls back *allocation cursors*) to workloads that mutate
+        data in place: the TPC-C-style transaction mix updates records, so
+        re-measuring it against a shared build needs the page contents
+        rolled back too.  The snapshot is taken and restored entirely at
+        the Python level -- no buffer-pool statistics move and nothing is
+        charged to the simulated processor, exactly like the address-space
+        checkpoint.
+
+        Covers in-place record updates (both NSM slotted pages and PAX
+        minipages write through their fixed-size buffers); page *set*
+        changes (inserts allocating new pages, deletes) are outside its
+        contract -- :meth:`data_restore` asserts the page list is unchanged.
+        """
+        peek = self.buffer_pool.peek_page
+        return tuple((number, bytes(peek(number)._buffer), peek(number).dirty)
+                     for number in self._page_numbers)
+
+    def data_restore(self, snapshot: Sequence[Tuple[int, bytes, bool]]) -> None:
+        """Write a :meth:`data_checkpoint` snapshot back into the pages."""
+        if len(snapshot) != len(self._page_numbers):
+            raise HeapFileError(
+                f"data_restore of heap file {self.name!r}: snapshot covers "
+                f"{len(snapshot)} pages but the file now has "
+                f"{len(self._page_numbers)} -- pages were allocated or "
+                f"dropped since the checkpoint")
+        peek = self.buffer_pool.peek_page
+        for page_number, buffer, dirty in snapshot:
+            page = peek(page_number)
+            page._buffer[:] = buffer
+            page.dirty = dirty
+
     # ----------------------------------------------------------------- scan
     def scan(self) -> Iterator[ScanEntry]:
         """Iterate over all live records in storage order."""

@@ -70,9 +70,28 @@ def record_size_sweep(base_config: Optional[MicroWorkloadConfig] = None,
 
 
 def build_database_for_point(point: SweepPoint, include_s: bool = False,
-                             with_index: bool = False) -> Database:
-    """Materialise the dataset for one sweep point."""
-    database = point.workload.build(include_s=include_s)
+                             with_index: bool = False,
+                             layout_style: str = "nsm") -> Database:
+    """Materialise the dataset for one sweep point.
+
+    ``layout_style`` selects the page organisation of the built tables
+    (``"nsm"`` / ``"pax"``) -- the "PAX everywhere" axis of the sweeps:
+    the row streams are seeded identically for both layouts, so two
+    builds of the same point differ only in page organisation.
+    """
+    database = point.workload.build(include_s=include_s,
+                                    layout_style=layout_style)
     if with_index:
         point.workload.create_selection_index(database)
     return database
+
+
+def pages_touched(database: Database, table: str) -> int:
+    """Pages a full sequential scan of ``table`` sweeps (its heap page count).
+
+    The record-size sweep's first-order effect is geometric: with the row
+    count held constant, larger records mean fewer records per page and
+    therefore strictly more pages (and more cache lines) per scan.  The
+    property tests pin exactly this monotonicity per layout.
+    """
+    return database.table(table).heap.page_count

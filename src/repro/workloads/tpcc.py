@@ -90,7 +90,13 @@ class TPCCWorkload:
         self.config = config or TPCCConfig()
 
     # ----------------------------------------------------------------- data
-    def build(self, database: Optional[Database] = None) -> Database:
+    def build(self, database: Optional[Database] = None,
+              layout_style: str = "nsm") -> Database:
+        """Create and populate both tables plus their unique key indexes.
+
+        ``layout_style`` selects the page organisation of both tables
+        (``"nsm"`` / ``"pax"``); the seeded row streams are layout-independent.
+        """
         config = self.config
         db = database or Database()
         rng = default_rng(config.seed)
@@ -101,7 +107,7 @@ class TPCCWorkload:
             ("c_w_id", ColumnType.INT32),
             ("c_balance", ColumnType.INT32),
             ("c_payment_cnt", ColumnType.INT32),
-        ], record_size=config.customer_record_size)
+        ], record_size=config.customer_record_size, layout_style=layout_style)
         balances = rng.integers(0, 50_000, size=config.customer_rows)
         db.load(self.CUSTOMER, (
             (i + 1, (i % 10) + 1, (i % config.warehouses) + 1, int(balances[i]), 0)
@@ -112,7 +118,7 @@ class TPCCWorkload:
             ("s_w_id", ColumnType.INT32),
             ("s_quantity", ColumnType.INT32),
             ("s_order_cnt", ColumnType.INT32),
-        ], record_size=config.stock_record_size)
+        ], record_size=config.stock_record_size, layout_style=layout_style)
         quantities = rng.integers(10, 100, size=config.stock_rows)
         db.load(self.STOCK, (
             (i + 1, (i % config.warehouses) + 1, int(quantities[i]), 0)

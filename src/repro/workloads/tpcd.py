@@ -77,8 +77,15 @@ class TPCDWorkload:
         self.config = config or TPCDConfig()
 
     # ----------------------------------------------------------------- data
-    def build(self, database: Optional[Database] = None) -> Database:
-        """Create and populate the four tables, plus the fact-table index."""
+    def build(self, database: Optional[Database] = None,
+              layout_style: str = "nsm") -> Database:
+        """Create and populate the four tables, plus the fact-table index.
+
+        ``layout_style`` selects the page organisation of every table
+        (``"nsm"`` slotted pages, the paper's systems; ``"pax"`` minipages)
+        -- the layout axis of the TPC-under-the-modern-engine matrix.  The
+        generated rows are identical for both layouts (one seeded stream).
+        """
         config = self.config
         db = database or Database()
         rng = default_rng(config.seed)
@@ -91,7 +98,7 @@ class TPCDWorkload:
             ("l_extendedprice", ColumnType.INT32),
             ("l_discount", ColumnType.INT32),
             ("l_shipdate", ColumnType.INT32),
-        ], record_size=config.lineitem_record_size)
+        ], record_size=config.lineitem_record_size, layout_style=layout_style)
         orderkeys = rng.integers(1, config.orders_rows + 1, size=config.lineitem_rows)
         partkeys = rng.integers(1, config.part_rows + 1, size=config.lineitem_rows)
         suppkeys = rng.integers(1, config.supplier_rows + 1, size=config.lineitem_rows)
@@ -109,7 +116,9 @@ class TPCDWorkload:
         for name, rows in ((self.ORDERS, config.orders_rows),
                            (self.PART, config.part_rows),
                            (self.SUPPLIER, config.supplier_rows)):
-            db.create_table(name, dimension_columns, record_size=config.dimension_record_size)
+            db.create_table(name, dimension_columns,
+                            record_size=config.dimension_record_size,
+                            layout_style=layout_style)
             attrs = rng.integers(0, 1_000, size=(rows, 2))
             db.load(name, ((i + 1, int(attrs[i, 0]), int(attrs[i, 1])) for i in range(rows)))
 

@@ -1,0 +1,163 @@
+"""End-to-end tests for the three-command reproduction artifact.
+
+Drives the full pipeline (:mod:`repro.experiments.artifact`) at the CI
+scale preset into a temporary directory -- exactly what the ``artifact-
+smoke`` CI job and ``scripts/run_artifact.py all --scale ci`` do -- and
+pins the contract each stage provides:
+
+* ``run_all`` measures every registered artifact and persists raw JSON;
+* ``csv`` derives one non-empty CSV per artifact (the canonical outputs),
+  failing loudly on missing or incomplete raw data;
+* ``plot`` is a graceful no-op without matplotlib (never an error).
+
+The measurement pass is module-scoped: one CI-scale run (~seconds)
+backs every assertion.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import pytest
+
+from repro.analysis import artifact_io
+from repro.experiments import artifact
+from repro.experiments.artifact import (ArtifactError, ArtifactOptions,
+                                        REGISTRY, config_for_scale,
+                                        emit_csvs, expected_csvs,
+                                        render_plots, run_all, raw_path,
+                                        spec_by_name)
+
+SILENT = lambda *args, **kwargs: None  # noqa: E731 - quiet echo for tests
+
+
+@pytest.fixture(scope="module")
+def artifact_dir(tmp_path_factory):
+    """One CI-scale run_all + csv pass shared by the module's tests."""
+    out = tmp_path_factory.mktemp("artifact")
+    run_all(out, scale="ci", echo=SILENT)
+    emit_csvs(out, echo=SILENT)
+    return out
+
+
+# ----------------------------------------------------------------- pipeline
+def test_raw_measurements_cover_every_registered_artifact(artifact_dir):
+    raw = artifact_io.read_raw(raw_path(artifact_dir))
+    assert sorted(raw) == sorted(spec.name for spec in REGISTRY)
+    for spec in REGISTRY:
+        entry = raw[spec.name]
+        assert entry["title"] == spec.title
+        assert entry["columns"] == list(spec.columns)
+        assert entry["scale"] == "ci"
+        assert entry["data"], f"{spec.name} measured no data"
+
+
+def test_every_expected_csv_exists_and_is_non_empty(artifact_dir):
+    paths = expected_csvs(artifact_dir)
+    assert len(paths) == len(REGISTRY)
+    for path in paths:
+        assert path.exists(), f"missing {path.name}"
+        assert path.stat().st_size > 0, f"empty {path.name}"
+
+
+def test_csvs_carry_headers_and_data_rows(artifact_dir):
+    for spec in REGISTRY:
+        with open(artifact_dir / "csv" / f"{spec.name}.csv", newline="") as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0] == list(spec.columns), f"{spec.name} header mismatch"
+        assert len(rows) > 1, f"{spec.name} has no data rows"
+        assert all(len(row) == len(spec.columns) for row in rows[1:]), \
+            f"{spec.name} has ragged rows"
+
+
+def test_per_layout_artifacts_cover_both_layouts(artifact_dir):
+    raw = artifact_io.read_raw(raw_path(artifact_dir))
+    for name in ("figure_5_3", "figure_5_6", "tpcc_summary",
+                 "record_size_sweep", "selectivity_sweep",
+                 "tpcd_matrix", "tpcc_matrix"):
+        assert sorted(raw[name]["data"]) == ["nsm", "pax"], \
+            f"{name} missing a layout"
+
+
+def test_plot_stage_is_graceful_without_matplotlib(artifact_dir):
+    if artifact_io.matplotlib_available():
+        pytest.skip("matplotlib installed; the no-op path is untestable")
+    messages = []
+    rendered = render_plots(artifact_dir, echo=messages.append)
+    assert rendered == []
+    assert any("matplotlib" in message for message in messages)
+    assert not (artifact_dir / "plots").exists()
+
+
+def test_csv_stage_is_rederivable_from_raw(artifact_dir, tmp_path):
+    """csv re-runs from persisted raw JSON alone (stage separability)."""
+    other = tmp_path / "rederived"
+    other.mkdir()
+    (other / "raw").mkdir()
+    raw = raw_path(artifact_dir).read_text()
+    raw_path(other).write_text(raw)
+    written = emit_csvs(other, echo=SILENT)
+    for path, original in zip(written, expected_csvs(artifact_dir)):
+        assert path.read_text() == original.read_text()
+
+
+# -------------------------------------------------------------- error paths
+def test_csv_stage_requires_raw_measurements(tmp_path):
+    with pytest.raises(ArtifactError, match="run_all"):
+        emit_csvs(tmp_path, echo=SILENT)
+
+
+def test_plot_stage_requires_raw_measurements(tmp_path):
+    with pytest.raises(ArtifactError, match="run_all"):
+        render_plots(tmp_path, echo=SILENT)
+
+
+def test_csv_stage_rejects_incomplete_raw(artifact_dir, tmp_path):
+    raw = json.loads(raw_path(artifact_dir).read_text())
+    del raw["figure_5_1"]
+    (tmp_path / "raw").mkdir()
+    raw_path(tmp_path).write_text(json.dumps(raw))
+    with pytest.raises(ArtifactError, match="figure_5_1"):
+        emit_csvs(tmp_path, echo=SILENT)
+
+
+def test_unknown_scale_preset_is_an_artifact_error():
+    with pytest.raises(ArtifactError, match="unknown scale"):
+        config_for_scale("huge")
+
+
+def test_unknown_spec_name_is_an_artifact_error():
+    with pytest.raises(ArtifactError, match="unknown artifact"):
+        spec_by_name("figure_9_9")
+
+
+# ------------------------------------------------------------------ helpers
+def test_flatten_rejects_depth_mismatches():
+    with pytest.raises(ValueError, match="deeper"):
+        artifact_io.flatten({"a": {"b": 1}}, depth=1)
+    with pytest.raises(ValueError, match="shallower"):
+        artifact_io.flatten({"a": 1}, depth=2)
+
+
+def test_flatten_preserves_insertion_order():
+    data = {"z": {"second": 2, "first": 1}, "a": {"x": 3}}
+    assert artifact_io.flatten(data, depth=2) == [
+        ("z", "second", 2), ("z", "first", 1), ("a", "x", 3)]
+
+
+def test_registry_names_are_unique():
+    names = [spec.name for spec in REGISTRY]
+    assert len(names) == len(set(names))
+
+
+def test_options_add_worker_arms():
+    """workers=(1, 2) adds a w2 arm to both TPC matrices."""
+    runner = artifact.ExperimentRunner(config_for_scale("ci"))
+    data = artifact._tpcd_matrix(runner, ArtifactOptions(workers=(1, 2)))
+    for layout in artifact.LAYOUTS:
+        assert "vectorized/w2" in data[layout]
+        base = data[layout]["vectorized"]
+        arm = data[layout]["vectorized/w2"]
+        assert arm["cycles"] == base["cycles"], \
+            "worker arms must be count-identical by design"

@@ -1,0 +1,227 @@
+"""Differential harness for the TPC workloads under the modern engine matrix.
+
+The contract mirrors the microbenchmark differential suite
+(``test_vectorized_equivalence.py``), lifted to whole workloads:
+
+* **Rows are engine-independent.**  Every TPC-D query and every TPC-C
+  statement (selections *and* updates) returns row-for-row identical
+  results under the tuple and vectorized engines, at every charge mode,
+  worker count and kernel backend.  Across engines the ``query_setup``
+  charge counts also match (the PR 1 contract); the *hardware* counts
+  differ across engines by design -- that difference IS the engine
+  ablation.
+* **Counts are identical across the identity walls.**  For a fixed engine,
+  the simulated event counters are bit-identical across
+  ``charge_mode="per_address"`` vs ``"span"``, ``workers`` 1 vs 4, and the
+  python vs array kernel backends -- each is a simulator implementation
+  choice, never a model change.
+
+Everything measures on the warmed TPC grids (one build per layout,
+checkpoints restored per arm), so the suite doubles as the regression test
+that warmed-build reuse is invisible -- including for TPC-C, whose updates
+mutate pages in place and rely on the data checkpoint.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.session import Session
+from repro.experiments.runner import ExperimentConfig, ExperimentRunner
+from repro.systems.vendors import oltp_variant, system_by_key
+from repro.workloads.micro import MicroWorkloadConfig
+from repro.workloads.tpcc import TPCCConfig
+from repro.workloads.tpcd import TPCDConfig
+
+TXNS = 8
+ENGINES = ("tuple", "vectorized")
+CHARGE_MODES = ("per_address", "span")
+WORKER_COUNTS = (1, 4)
+KERNEL_BACKENDS = ("python", "array")
+
+
+def _numpy_available() -> bool:
+    try:
+        import numpy  # noqa: F401
+        return True
+    except ImportError:
+        return False
+
+
+def make_runner() -> ExperimentRunner:
+    return ExperimentRunner(ExperimentConfig(
+        micro=MicroWorkloadConfig(scale=1 / 2000),
+        tpcd=TPCDConfig(lineitem_rows=300, orders_rows=60, part_rows=30,
+                        supplier_rows=15),
+        tpcc=TPCCConfig(scale=0.003),
+        tpcc_transactions=TXNS,
+        os_interference=False))
+
+
+@pytest.fixture(scope="module")
+def runner() -> ExperimentRunner:
+    return make_runner()
+
+
+def backends():
+    return KERNEL_BACKENDS if _numpy_available() else ("python",)
+
+
+# ---------------------------------------------------------------- TPC-D rows
+def _tpcd_session(runner, engine, charge_mode="span", workers=1,
+                  kernel_backend="auto", layout="nsm") -> Session:
+    database, checkpoint = runner.tpcd_grid_database(layout)
+    database.address_space.restore(checkpoint)
+    return Session(database, system_by_key("B"), spec=runner.config.spec,
+                   os_interference=None, engine=engine,
+                   charge_mode=charge_mode, parallelism=workers,
+                   kernel_backend=kernel_backend)
+
+
+def _tpcd_rows_and_setups(runner, **session_knobs):
+    """Per-query rows plus total query_setup charges for one matrix arm."""
+    rows = []
+    setups = 0
+    with _tpcd_session(runner, **session_knobs) as session:
+        for query in runner.tpcd_workload.queries():
+            result = session.execute(query, warmup_runs=0)
+            rows.append(result.rows)
+            setups += result.routine_invocations.get("query_setup", 0)
+    return rows, setups
+
+
+@pytest.mark.parametrize("layout", ("nsm", "pax"))
+def test_tpcd_rows_identical_across_matrix(runner, layout):
+    reference_rows, reference_setups = _tpcd_rows_and_setups(
+        runner, engine="tuple", layout=layout)
+    assert len(reference_rows) == runner.tpcd_workload.query_count()
+    assert all(rows for rows in reference_rows), \
+        "every TPC-D query aggregates to at least one row"
+    for engine in ENGINES:
+        for charge_mode in CHARGE_MODES:
+            for workers in WORKER_COUNTS:
+                for backend in backends():
+                    rows, setups = _tpcd_rows_and_setups(
+                        runner, engine=engine, charge_mode=charge_mode,
+                        workers=workers, kernel_backend=backend,
+                        layout=layout)
+                    assert rows == reference_rows, (
+                        f"rows diverged: {engine}/{charge_mode}/w{workers}"
+                        f"/{backend}/{layout}")
+                    assert setups == reference_setups, (
+                        f"query_setup charges diverged: {engine}/"
+                        f"{charge_mode}/w{workers}/{backend}/{layout}")
+
+
+# -------------------------------------------------------------- TPC-D counts
+def test_tpcd_counts_identical_across_walls(runner):
+    """Charge mode, workers and kernel backend never change the counts."""
+    for engine in ENGINES:
+        reference = runner.tpcd_grid_result(
+            "nsm", engine=engine, charge_mode="per_address").counters.as_dict()
+        for charge_mode in CHARGE_MODES:
+            for workers in WORKER_COUNTS:
+                for backend in backends():
+                    arm = runner.tpcd_grid_result(
+                        "nsm", engine=engine, charge_mode=charge_mode,
+                        workers=workers, kernel_backend=backend)
+                    assert arm.counters.as_dict() == reference, (
+                        f"counts diverged: {engine}/{charge_mode}"
+                        f"/w{workers}/{backend}")
+
+
+def test_tpcd_engines_differ_in_counts_by_design(runner):
+    """Sanity: tuple vs vectorized IS a model change (the ablation)."""
+    tuple_arm = runner.tpcd_grid_result("nsm", engine="tuple")
+    vector_arm = runner.tpcd_grid_result("nsm", engine="vectorized")
+    assert (tuple_arm.counters.get("INST_RETIRED")
+            != vector_arm.counters.get("INST_RETIRED"))
+
+
+# ---------------------------------------------------------------- TPC-C rows
+def _tpcc_statement_rows(runner, engine, charge_mode="span", workers=1,
+                         kernel_backend="auto", layout="nsm"):
+    """Rows of every statement of a fixed transaction stream, one arm.
+
+    Both checkpoints are restored first (the mix updates pages in place),
+    then every statement executes through ``Session.execute`` so its rows
+    -- selection aggregates and ``{"updated": n}`` acknowledgements alike
+    -- are observable.  The stream is fixed by seed, so arms see identical
+    statement sequences against identical starting states.
+    """
+    database, workload, checkpoint, data = runner.tpcc_grid_database(layout)
+    database.address_space.restore(checkpoint)
+    database.data_restore(data)
+    rows = []
+    setups = 0
+    with Session(database, oltp_variant(system_by_key("B")),
+                 spec=runner.config.spec, os_interference=None,
+                 engine=engine, charge_mode=charge_mode, parallelism=workers,
+                 kernel_backend=kernel_backend) as session:
+        for txn in workload.transactions(TXNS, seed=1234):
+            for statement in txn.statements:
+                result = session.execute(statement, warmup_runs=0)
+                rows.append(result.rows)
+                setups += result.routine_invocations.get("query_setup", 0)
+    return rows, setups
+
+
+@pytest.mark.parametrize("layout", ("nsm", "pax"))
+def test_tpcc_rows_identical_across_matrix(runner, layout):
+    reference_rows, reference_setups = _tpcc_statement_rows(
+        runner, engine="tuple", layout=layout)
+    assert any(row == [{"updated": 1}] for row in reference_rows), \
+        "the mix must contain applied updates"
+    for engine in ENGINES:
+        for charge_mode in CHARGE_MODES:
+            for workers in WORKER_COUNTS:
+                for backend in backends():
+                    rows, setups = _tpcc_statement_rows(
+                        runner, engine=engine, charge_mode=charge_mode,
+                        workers=workers, kernel_backend=backend,
+                        layout=layout)
+                    assert rows == reference_rows, (
+                        f"rows diverged: {engine}/{charge_mode}/w{workers}"
+                        f"/{backend}/{layout}")
+                    assert setups == reference_setups, (
+                        f"query_setup charges diverged: {engine}/"
+                        f"{charge_mode}/w{workers}/{backend}/{layout}")
+
+
+# -------------------------------------------------------------- TPC-C counts
+def _tpcc_counters(runner, engine, charge_mode="span", workers=1,
+                   kernel_backend="auto", layout="nsm"):
+    """Full measured counters of the driven mix for one matrix arm."""
+    database, workload, checkpoint, data = runner.tpcc_grid_database(layout)
+    database.address_space.restore(checkpoint)
+    database.data_restore(data)
+    with Session(database, oltp_variant(system_by_key("B")),
+                 spec=runner.config.spec, os_interference=None,
+                 engine=engine, charge_mode=charge_mode, parallelism=workers,
+                 kernel_backend=kernel_backend) as session:
+        counters, _, _, executed = workload.run(
+            session, transactions=TXNS, warmup_transactions=2)
+    assert executed == TXNS
+    return counters.as_dict()
+
+
+def test_tpcc_counts_identical_across_walls(runner):
+    for engine in ENGINES:
+        reference = _tpcc_counters(runner, engine, charge_mode="per_address")
+        for charge_mode in CHARGE_MODES:
+            for workers in WORKER_COUNTS:
+                for backend in backends():
+                    arm = _tpcc_counters(runner, engine,
+                                         charge_mode=charge_mode,
+                                         workers=workers,
+                                         kernel_backend=backend)
+                    assert arm == reference, (
+                        f"counts diverged: {engine}/{charge_mode}"
+                        f"/w{workers}/{backend}")
+
+
+def test_tpcc_grid_repeat_identity(runner):
+    """The warmed TPC-C grid is invisible despite in-place updates."""
+    first = _tpcc_counters(runner, "vectorized")
+    second = _tpcc_counters(runner, "vectorized")
+    assert first == second
